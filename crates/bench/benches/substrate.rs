@@ -1,0 +1,95 @@
+//! Substrate throughput benches: cache simulator, interpreter, parser,
+//! loop recognition. These back the claim that the simulated-machine
+//! substitution is usable at the paper's working-set sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slo_ir::loops::LoopForest;
+use slo_ir::parser::parse;
+use slo_vm::{CacheConfig, CacheSim, VmOptions};
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sequential_10k", |b| {
+        let mut sim = CacheSim::new(CacheConfig::default());
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                std::hint::black_box(sim.access(0x10000 + i * 8, false));
+            }
+        })
+    });
+    g.bench_function("random_10k", |b| {
+        let mut sim = CacheSim::new(CacheConfig::default());
+        b.iter(|| {
+            let mut x = 12345u64;
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                std::hint::black_box(sim.access(0x10000 + (x % (1 << 24)), false));
+            }
+        })
+    });
+    g.finish();
+}
+
+const LOOP_SRC: &str = r#"
+func main() -> i64 {
+bb0:
+  r0 = 0
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r0, 1000
+  br r2, bb2, bb3
+bb2:
+  r1 = add r1, r0
+  r0 = add r0, 1
+  jump bb1
+bb3:
+  ret r1
+}
+"#;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let p = parse(LOOP_SRC).expect("parse");
+    let mut g = c.benchmark_group("vm");
+    g.throughput(Throughput::Elements(6_000)); // ~6 instrs/iteration x 1000
+    g.bench_function("arith_loop_1k_iters", |b| {
+        b.iter(|| std::hint::black_box(slo_vm::run(&p, &VmOptions::default()).expect("run")))
+    });
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    // a mid-sized program: print the mcf model and re-parse it
+    let prog = slo_workloads::mcf::build_config(slo_workloads::mcf::McfConfig {
+        n: 100,
+        iters: 2,
+        skew: 0,
+    });
+    let text = slo_ir::printer::print_program(&prog);
+    let mut g = c.benchmark_group("frontend");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse_mcf_text", |b| {
+        b.iter(|| std::hint::black_box(parse(&text).expect("parse")))
+    });
+    g.bench_function("print_mcf", |b| {
+        b.iter(|| std::hint::black_box(slo_ir::printer::print_program(&prog)))
+    });
+    g.finish();
+}
+
+fn bench_loops(c: &mut Criterion) {
+    let prog = slo_workloads::mcf::build_config(slo_workloads::mcf::McfConfig {
+        n: 100,
+        iters: 2,
+        skew: 0,
+    });
+    let main = prog.main().expect("main");
+    let f = prog.func(main);
+    c.bench_function("havlak_loop_forest_main", |b| {
+        b.iter(|| std::hint::black_box(LoopForest::compute(f)))
+    });
+}
+
+criterion_group!(benches, bench_cache_sim, bench_interpreter, bench_parser, bench_loops);
+criterion_main!(benches);

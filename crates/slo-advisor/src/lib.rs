@@ -1,0 +1,36 @@
+//! # slo-advisor — the structure layout advisory tool
+//!
+//! Section 3 of *"Practical Structure Layout Optimization and Advice"*
+//! (CGO 2006): the compiler reused as a performance analysis and
+//! reporting tool. It correlates the static analyses (legality verdicts,
+//! affinity graphs, hotness, read/write counts) with runtime measurements
+//! (PMU-sampled d-cache misses and latencies attributed to fields) and
+//! renders:
+//!
+//! * annotated structure definitions in the Figure 2 format
+//!   ([`report::render_report`]),
+//! * VCG graph control files ([`vcg::render_vcg`]),
+//! * the §3.3 field-group scenario classification
+//!   ([`scenarios::classify`]), including the multi-threaded
+//!   false-sharing heuristic sketched in §2.4,
+//! * concrete, mechanically applicable layout suggestions
+//!   ([`suggest::suggest_layout`]) — the advice the §3.4 case studies
+//!   apply by hand.
+//!
+//! The advisor is usable standalone (the paper's §5 "re-packaging the
+//! analysis phase into a standalone tool"): it only *reads* analysis
+//! results and never requires the transformations to run.
+
+#![warn(missing_docs)]
+
+pub mod input;
+pub mod report;
+pub mod scenarios;
+pub mod suggest;
+pub mod vcg;
+
+pub use input::AdvisorInput;
+pub use report::{render_report, render_type};
+pub use scenarios::{classify, Advice, ScenarioConfig};
+pub use suggest::{render_suggestion, suggest_layout, LayoutSuggestion};
+pub use vcg::render_vcg;

@@ -1,0 +1,297 @@
+//! The advisory report — annotated structure definitions (Figure 2).
+//!
+//! For each record type, sorted by type hotness, the report prints the
+//! type header (name, field count, size, relative/absolute hotness, the
+//! planned transformation, legality status and attribute flags) followed
+//! by each field in declaration order with its hotness bar, read/write
+//! bar, attributed d-cache misses and latencies, and uni-directional
+//! affinity edges.
+
+use crate::input::AdvisorInput;
+use slo_ir::RecordId;
+use slo_transform::TypeTransform;
+use std::fmt::Write as _;
+
+/// Render the full advisory report for every record type.
+pub fn render_report(input: &AdvisorInput<'_>) -> String {
+    let mut out = String::new();
+    let mut order: Vec<RecordId> = input.prog.types.record_ids().collect();
+    let total_hot: f64 = order
+        .iter()
+        .map(|r| input.graphs.get(r).map(|g| g.type_hotness()).unwrap_or(0.0))
+        .sum();
+    let max_hot = order
+        .iter()
+        .map(|r| input.graphs.get(r).map(|g| g.type_hotness()).unwrap_or(0.0))
+        .fold(0.0f64, f64::max);
+    order.sort_by(|a, b| {
+        let ha = input.graphs.get(a).map(|g| g.type_hotness()).unwrap_or(0.0);
+        let hb = input.graphs.get(b).map(|g| g.type_hotness()).unwrap_or(0.0);
+        hb.partial_cmp(&ha).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for rid in order {
+        render_type(input, rid, total_hot, max_hot, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one type's annotated definition.
+pub fn render_type(
+    input: &AdvisorInput<'_>,
+    rid: RecordId,
+    total_hot: f64,
+    max_hot: f64,
+    out: &mut String,
+) {
+    let rec = input.prog.types.record(rid);
+    let layout = input.prog.types.layout_of(rid);
+    let graph = input.graphs.get(&rid);
+    let type_hot = graph.map(|g| g.type_hotness()).unwrap_or(0.0);
+    let rel = if max_hot > 0.0 {
+        type_hot / max_hot * 100.0
+    } else {
+        0.0
+    };
+    let abs = if total_hot > 0.0 {
+        type_hot / total_hot * 100.0
+    } else {
+        0.0
+    };
+
+    let _ = writeln!(out, "Type     : {}", rec.name);
+    let _ = writeln!(out, "Fields   : {}, {} bytes", rec.fields.len(), layout.size);
+    let _ = writeln!(out, "Hotness  : {rel:.1}% rel, {abs:.1}% abs");
+    let _ = writeln!(out, "Transform: {}", transform_name(input, rid));
+    let _ = writeln!(out, "Status   : {}", status_line(input, rid));
+    let _ = writeln!(out, "{}", "-".repeat(69));
+
+    let rel_hot = graph.map(|g| g.relative_hotness()).unwrap_or_default();
+    let type_misses: f64 = (0..rec.fields.len() as u32)
+        .map(|f| {
+            input
+                .dcache
+                .and_then(|d| d.get(&(rid, f)))
+                .map(|s| s.misses)
+                .unwrap_or(0.0)
+        })
+        .sum();
+
+    for (i, field) in rec.fields.iter().enumerate() {
+        let fi = i as u32;
+        let hot = graph.map(|g| g.hotness(fi)).unwrap_or(0.0);
+        let rh = rel_hot.get(i).copied().unwrap_or(0.0);
+        let counts = input.counts.get(&(rid, fi)).copied().unwrap_or_default();
+        let marker = if counts.reads == 0.0 && counts.writes == 0.0 && hot == 0.0 {
+            " *unused*"
+        } else if counts.reads == 0.0 && counts.writes > 0.0 {
+            " *dead*"
+        } else {
+            ""
+        };
+        let off = layout.offsets[i];
+        let _ = writeln!(
+            out,
+            "Field[{i}] off: {off}:0 |{}| \"{}\"{marker}",
+            hotness_bar(rh),
+            field.name
+        );
+        if marker.is_empty() || counts.writes > 0.0 {
+            let _ = writeln!(out, "  hot: {rh:.1}% weight: {hot:.3e}");
+            let _ = writeln!(
+                out,
+                "  read : {:.3e}, write: {:.3e}   |{}|",
+                counts.reads,
+                counts.writes,
+                rw_bar(counts.reads, counts.writes)
+            );
+        }
+        if let Some(st) = input.strides.and_then(|m| m.get(&(rid, fi))) {
+            if st.samples > 0 {
+                let _ = writeln!(
+                    out,
+                    "  stride: {} [B] ({:.0}% of accesses)",
+                    st.dominant,
+                    st.confidence() * 100.0
+                );
+            }
+        }
+        if let Some(d) = input.dcache.and_then(|d| d.get(&(rid, fi))) {
+            let pct = if type_misses > 0.0 {
+                d.misses / type_misses * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  miss : {:.0}, {pct:.1}%, lat: {:.1} [cyc]",
+                d.misses,
+                d.avg_latency()
+            );
+        }
+        if let Some(g) = graph {
+            // uni-directional: self plus edges to later fields
+            for j in i as u32..rec.fields.len() as u32 {
+                let w = g.edge(fi, j);
+                if w > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "  aff: {:.1}% --> {}",
+                        g.relative_affinity(fi, j),
+                        rec.fields[j as usize].name
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn transform_name(input: &AdvisorInput<'_>, rid: RecordId) -> &'static str {
+    match input.plan.map(|p| p.of(rid)) {
+        Some(TypeTransform::Split { .. }) => "Splitting",
+        Some(TypeTransform::Peel { .. }) => "Peeling",
+        Some(TypeTransform::Interleave { .. }) => "Instance Interleaving",
+        Some(TypeTransform::RemoveDead { .. }) => "Dead Field Removal",
+        _ => "(none)",
+    }
+}
+
+fn status_line(input: &AdvisorInput<'_>, rid: RecordId) -> String {
+    let v = input.ipa.verdict(rid);
+    let mut parts: Vec<String> = Vec::new();
+    if v.legal() {
+        parts.push("*OK*".to_string());
+    } else {
+        for t in &v.invalid {
+            parts.push(t.abbrev().to_string());
+        }
+    }
+    parts.push("/".to_string());
+    let a = &v.attrs;
+    for (flag, set) in [
+        ("LPTR", a.has_local_ptr),
+        ("GPTR", a.has_global_ptr),
+        ("GVAR", a.has_global_var),
+        ("ARRY", a.has_static_array),
+        ("DYNA", a.dyn_alloc),
+        ("FREE", a.freed),
+        ("RALC", a.realloced),
+    ] {
+        if set {
+            parts.push(flag.to_string());
+        }
+    }
+    parts.join(" ")
+}
+
+/// Ten-character hotness bar: `#` per 10% relative hotness.
+pub fn hotness_bar(rel_percent: f64) -> String {
+    let filled = ((rel_percent / 10.0).round() as usize).min(10);
+    format!("{}{}", "#".repeat(filled), "-".repeat(10 - filled))
+}
+
+/// Eight-character read/write bar. More reads than writes uses uppercase
+/// `R` / lowercase `w`, otherwise lowercase `r` / uppercase `W` (the
+/// Figure 2 convention).
+pub fn rw_bar(reads: f64, writes: f64) -> String {
+    let total = reads + writes;
+    if total == 0.0 {
+        return " ".repeat(8);
+    }
+    let r_chars = ((reads / total * 8.0).round() as usize).min(8);
+    let (rc, wc) = if reads > writes { ('R', 'w') } else { ('r', 'W') };
+    let mut s = String::new();
+    for _ in 0..r_chars {
+        s.push(rc);
+    }
+    for _ in r_chars..8 {
+        s.push(wc);
+    }
+    s
+}
+
+/// Abbreviation list of the legality violations of a type (for summaries).
+pub fn violations_abbrev(input: &AdvisorInput<'_>, rid: RecordId) -> Vec<&'static str> {
+    input
+        .ipa
+        .verdict(rid)
+        .invalid
+        .iter()
+        .map(|t| t.abbrev())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::tests::mcf_like_input;
+
+    #[test]
+    fn bars_render() {
+        assert_eq!(hotness_bar(0.0), "----------");
+        assert_eq!(hotness_bar(100.0), "##########");
+        assert_eq!(hotness_bar(52.0), "#####-----");
+        assert_eq!(rw_bar(100.0, 0.0), "RRRRRRRR");
+        assert_eq!(rw_bar(0.0, 10.0), "WWWWWWWW");
+        assert_eq!(rw_bar(3.0, 1.0), "RRRRRRww");
+        assert_eq!(rw_bar(0.0, 0.0), "        ");
+    }
+
+    #[test]
+    fn report_contains_figure2_elements() {
+        let (prog, ipa, graphs, counts, dcache, plan) = mcf_like_input();
+        let input = AdvisorInput {
+            prog: &prog,
+            ipa: &ipa,
+            graphs: &graphs,
+            counts: &counts,
+            dcache: Some(&dcache),
+            strides: None,
+            plan: Some(&plan),
+        };
+        let report = render_report(&input);
+        assert!(report.contains("Type     : node"));
+        assert!(report.contains("Fields   :"));
+        assert!(report.contains("bytes"));
+        assert!(report.contains("Hotness  : 100.0% rel"));
+        assert!(report.contains("Status   :"));
+        assert!(report.contains("\"hot\""));
+        assert!(report.contains("aff:"));
+        assert!(report.contains("miss :"));
+        assert!(report.contains("[cyc]"));
+    }
+
+    #[test]
+    fn unused_fields_marked() {
+        let (prog, ipa, graphs, counts, dcache, plan) = mcf_like_input();
+        let input = AdvisorInput {
+            prog: &prog,
+            ipa: &ipa,
+            graphs: &graphs,
+            counts: &counts,
+            dcache: Some(&dcache),
+            strides: None,
+            plan: Some(&plan),
+        };
+        let report = render_report(&input);
+        assert!(report.contains("*unused*"), "report:\n{report}");
+    }
+
+    #[test]
+    fn hottest_type_first() {
+        let (prog, ipa, graphs, counts, dcache, plan) = mcf_like_input();
+        let input = AdvisorInput {
+            prog: &prog,
+            ipa: &ipa,
+            graphs: &graphs,
+            counts: &counts,
+            dcache: Some(&dcache),
+            strides: None,
+            plan: Some(&plan),
+        };
+        let report = render_report(&input);
+        let node_pos = report.find("Type     : node").expect("node present");
+        let other_pos = report.find("Type     : coldtype").expect("coldtype present");
+        assert!(node_pos < other_pos, "hotter type must come first");
+    }
+}

@@ -1,0 +1,360 @@
+//! §3.3 — combining d-cache misses, hotness and affinity into advice.
+//!
+//! The paper enumerates the interesting configurations of two spatially
+//! distant field groups `G_x`, `G_y` of a type `T`:
+//!
+//! 1. both hot, low mutual affinity → split *conceptually at the source
+//!    level* (link pointers are prohibitive; the automatic framework
+//!    cannot handle this case),
+//! 2. both hot, high mutual affinity → group them together (cache effects
+//!    of one may hide behind the latencies of the other),
+//! 3. one group cold → split it out (automatically, or at source level),
+//! 4. a hot group with a high d-cache component → scheduling/data-structure
+//!    complexity hint,
+//! 5. multi-threaded: separate written fields from read-mostly fields to
+//!    avoid coherency traffic (false sharing).
+
+use slo_analysis::affinity::{AffinityGraph, FieldCounts};
+use slo_analysis::dcache::FieldDcache;
+use slo_ir::{Program, RecordId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One piece of advice about a type's layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Advice {
+    /// Two hot groups rarely used together: restructure at source level.
+    SplitConceptually {
+        /// First group (field indices).
+        group_a: Vec<u32>,
+        /// Second group.
+        group_b: Vec<u32>,
+    },
+    /// Hot, strongly affine fields that are far apart in the declaration:
+    /// group them together.
+    GroupTogether {
+        /// The fields to co-locate.
+        fields: Vec<u32>,
+    },
+    /// A cold group that could be split out.
+    SplitOutCold {
+        /// The cold fields.
+        fields: Vec<u32>,
+    },
+    /// A hot field with a dominant d-cache component.
+    SchedulingHint {
+        /// The field.
+        field: u32,
+        /// Its mean latency.
+        avg_latency: f64,
+    },
+    /// Written-hot fields sharing a cache line with read-mostly fields
+    /// (multi-threaded false-sharing risk).
+    FalseSharingRisk {
+        /// Heavily written fields.
+        written: Vec<u32>,
+        /// Read-mostly fields on the same line.
+        read_mostly: Vec<u32>,
+    },
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Advice::SplitConceptually { group_a, group_b } => write!(
+                f,
+                "hot groups {group_a:?} and {group_b:?} are rarely used together; split the type at the source level"
+            ),
+            Advice::GroupTogether { fields } => {
+                write!(f, "co-locate strongly affine hot fields {fields:?}")
+            }
+            Advice::SplitOutCold { fields } => {
+                write!(f, "cold fields {fields:?} could be split out")
+            }
+            Advice::SchedulingHint { field, avg_latency } => write!(
+                f,
+                "field {field} has a dominant d-cache component ({avg_latency:.1} cyc avg); check loop scheduling"
+            ),
+            Advice::FalseSharingRisk { written, read_mostly } => write!(
+                f,
+                "written fields {written:?} share cache lines with read-mostly fields {read_mostly:?}; separate them for multi-threaded use"
+            ),
+        }
+    }
+}
+
+/// Tunables for the classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Fields with relative hotness at or above this are "hot".
+    pub hot_threshold: f64,
+    /// Mutual affinity (relative) below this counts as "low".
+    pub low_affinity: f64,
+    /// Mutual affinity (relative) above this counts as "high".
+    pub high_affinity: f64,
+    /// Mean latency above this triggers the scheduling hint.
+    pub latency_hint: f64,
+    /// Write share above this marks a field "written-hot".
+    pub write_share: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            hot_threshold: 30.0,
+            low_affinity: 10.0,
+            high_affinity: 50.0,
+            latency_hint: 20.0,
+            write_share: 0.5,
+        }
+    }
+}
+
+/// Classify a type's fields into the §3.3 scenarios.
+pub fn classify(
+    prog: &Program,
+    rid: RecordId,
+    graph: &AffinityGraph,
+    counts: &HashMap<(RecordId, u32), FieldCounts>,
+    dcache: Option<&HashMap<(RecordId, u32), FieldDcache>>,
+    cfg: &ScenarioConfig,
+) -> Vec<Advice> {
+    let rec = prog.types.record(rid);
+    let n = rec.fields.len() as u32;
+    let rel = graph.relative_hotness();
+    let mut advice = Vec::new();
+
+    let hot: Vec<u32> = (0..n)
+        .filter(|&f| rel[f as usize] >= cfg.hot_threshold)
+        .collect();
+    let cold: Vec<u32> = (0..n)
+        .filter(|&f| rel[f as usize] < cfg.hot_threshold && rel[f as usize] > 0.0)
+        .collect();
+
+    // Partition hot fields into affinity clusters (union by high affinity).
+    let clusters = cluster_hot(&hot, graph, cfg);
+
+    // scenario 1: two hot clusters with low mutual affinity
+    for i in 0..clusters.len() {
+        for j in i + 1..clusters.len() {
+            let aff = cluster_affinity(&clusters[i], &clusters[j], graph);
+            if aff < cfg.low_affinity {
+                advice.push(Advice::SplitConceptually {
+                    group_a: clusters[i].clone(),
+                    group_b: clusters[j].clone(),
+                });
+            }
+        }
+    }
+
+    // scenario 2: a hot cluster whose members are declared far apart
+    for c in &clusters {
+        if c.len() >= 2 {
+            let span = c.iter().max().expect("non-empty") - c.iter().min().expect("non-empty");
+            if span as usize >= c.len() {
+                advice.push(Advice::GroupTogether { fields: c.clone() });
+            }
+        }
+    }
+
+    // scenario 3: cold fields
+    if !cold.is_empty() {
+        advice.push(Advice::SplitOutCold { fields: cold });
+    }
+
+    // scenario 4: hot field with dominant d-cache latency
+    if let Some(d) = dcache {
+        for &f in &hot {
+            if let Some(s) = d.get(&(rid, f)) {
+                if s.avg_latency() >= cfg.latency_hint {
+                    advice.push(Advice::SchedulingHint {
+                        field: f,
+                        avg_latency: s.avg_latency(),
+                    });
+                }
+            }
+        }
+    }
+
+    // scenario 5: false sharing — hot written fields vs read-mostly fields
+    let mut written = Vec::new();
+    let mut read_mostly = Vec::new();
+    for &f in &hot {
+        let c = counts.get(&(rid, f)).copied().unwrap_or_default();
+        let total = c.reads + c.writes;
+        if total == 0.0 {
+            continue;
+        }
+        if c.writes / total >= cfg.write_share {
+            written.push(f);
+        } else {
+            read_mostly.push(f);
+        }
+    }
+    if !written.is_empty() && !read_mostly.is_empty() {
+        advice.push(Advice::FalseSharingRisk {
+            written,
+            read_mostly,
+        });
+    }
+
+    advice
+}
+
+fn cluster_hot(hot: &[u32], graph: &AffinityGraph, cfg: &ScenarioConfig) -> Vec<Vec<u32>> {
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    for &f in hot {
+        let mut placed = false;
+        for c in &mut clusters {
+            let aff = c
+                .iter()
+                .map(|&g| graph.relative_affinity(f, g))
+                .fold(0.0f64, f64::max);
+            if aff >= cfg.high_affinity {
+                c.push(f);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(vec![f]);
+        }
+    }
+    clusters
+}
+
+fn cluster_affinity(a: &[u32], b: &[u32], graph: &AffinityGraph) -> f64 {
+    let mut max = 0.0f64;
+    for &x in a {
+        for &y in b {
+            max = max.max(graph.relative_affinity(x, y));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn program_with(nfields: usize) -> (Program, RecordId) {
+        let mut pb = slo_ir::ProgramBuilder::new();
+        let i64t = pb.scalar(slo_ir::ScalarKind::I64);
+        let fields = (0..nfields)
+            .map(|i| slo_ir::Field::new(format!("f{i}"), i64t))
+            .collect();
+        let (rid, _) = pb.record("t", fields);
+        (pb.finish(), rid)
+    }
+
+    fn set(fs: &[u32]) -> BTreeSet<u32> {
+        fs.iter().copied().collect()
+    }
+
+    #[test]
+    fn two_hot_phases_suggest_conceptual_split() {
+        let (p, rid) = program_with(4);
+        let mut g = AffinityGraph::new(rid, 4);
+        g.add_group(&set(&[0, 1]), 100.0); // phase 1
+        g.add_group(&set(&[2, 3]), 90.0); // phase 2, never together
+        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        assert!(
+            advice
+                .iter()
+                .any(|a| matches!(a, Advice::SplitConceptually { .. })),
+            "advice: {advice:?}"
+        );
+    }
+
+    #[test]
+    fn affine_hot_fields_group_together() {
+        let (p, rid) = program_with(6);
+        let mut g = AffinityGraph::new(rid, 6);
+        // fields 0 and 5 hot and affine, declared far apart
+        g.add_group(&set(&[0, 5]), 100.0);
+        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        assert!(
+            advice
+                .iter()
+                .any(|a| matches!(a, Advice::GroupTogether { fields } if fields.contains(&0) && fields.contains(&5))),
+            "advice: {advice:?}"
+        );
+    }
+
+    #[test]
+    fn cold_fields_suggested_for_split() {
+        let (p, rid) = program_with(3);
+        let mut g = AffinityGraph::new(rid, 3);
+        g.add_group(&set(&[0]), 100.0);
+        g.add_group(&set(&[1]), 2.0);
+        g.add_group(&set(&[2]), 1.0);
+        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::SplitOutCold { fields } if fields == &vec![1, 2])));
+    }
+
+    #[test]
+    fn latency_triggers_scheduling_hint() {
+        let (p, rid) = program_with(2);
+        let mut g = AffinityGraph::new(rid, 2);
+        g.add_group(&set(&[0]), 100.0);
+        let mut d = HashMap::new();
+        d.insert(
+            (rid, 0u32),
+            FieldDcache {
+                misses: 1000.0,
+                total_latency: 50_000.0,
+                accesses: 1000.0,
+            },
+        );
+        let advice = classify(
+            &p,
+            rid,
+            &g,
+            &HashMap::new(),
+            Some(&d),
+            &ScenarioConfig::default(),
+        );
+        assert!(advice
+            .iter()
+            .any(|a| matches!(a, Advice::SchedulingHint { field: 0, .. })));
+    }
+
+    #[test]
+    fn false_sharing_detected() {
+        let (p, rid) = program_with(2);
+        let mut g = AffinityGraph::new(rid, 2);
+        g.add_group(&set(&[0, 1]), 100.0);
+        let mut counts = HashMap::new();
+        counts.insert(
+            (rid, 0u32),
+            FieldCounts {
+                reads: 10.0,
+                writes: 1000.0,
+            },
+        );
+        counts.insert(
+            (rid, 1u32),
+            FieldCounts {
+                reads: 1000.0,
+                writes: 0.0,
+            },
+        );
+        let advice = classify(&p, rid, &g, &counts, None, &ScenarioConfig::default());
+        assert!(advice.iter().any(|a| matches!(
+            a,
+            Advice::FalseSharingRisk { written, read_mostly }
+                if written == &vec![0] && read_mostly == &vec![1]
+        )));
+    }
+
+    #[test]
+    fn advice_displays() {
+        let a = Advice::SplitOutCold { fields: vec![1] };
+        assert!(a.to_string().contains("cold fields"));
+        let b = Advice::GroupTogether { fields: vec![0, 5] };
+        assert!(b.to_string().contains("co-locate"));
+    }
+}

@@ -1,0 +1,103 @@
+//! VCG graph emission.
+//!
+//! "Sometimes a graphical representation is helpful. For this purpose we
+//! also output control files for the VCG graph visualization tool and use
+//! colors and line-thickness to indicate higher relative weights and
+//! affinities." (§3.2)
+
+use slo_analysis::affinity::AffinityGraph;
+use slo_ir::{Program, RecordId};
+use std::fmt::Write as _;
+
+/// Render one type's affinity graph as a VCG control file.
+pub fn render_vcg(prog: &Program, rid: RecordId, graph: &AffinityGraph) -> String {
+    let rec = prog.types.record(rid);
+    let rel = graph.relative_hotness();
+    let mut out = String::new();
+    let _ = writeln!(out, "graph: {{");
+    let _ = writeln!(out, "  title: \"{}\"", rec.name);
+    let _ = writeln!(out, "  layoutalgorithm: forcedir");
+    for (i, f) in rec.fields.iter().enumerate() {
+        let h = rel.get(i).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  node: {{ title: \"{}\" label: \"{}\\n{h:.1}%\" color: {} }}",
+            f.name,
+            f.name,
+            color_for(h)
+        );
+    }
+    let max_edge = graph
+        .pair_edges()
+        .map(|(_, w)| w)
+        .fold(0.0f64, f64::max);
+    for ((a, b), w) in graph.pair_edges() {
+        let rel_w = if max_edge > 0.0 { w / max_edge } else { 0.0 };
+        let thickness = 1 + (rel_w * 4.0).round() as u32;
+        let _ = writeln!(
+            out,
+            "  edge: {{ sourcename: \"{}\" targetname: \"{}\" thickness: {thickness} color: {} }}",
+            rec.fields[a as usize].name,
+            rec.fields[b as usize].name,
+            color_for(rel_w * 100.0)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn color_for(rel_percent: f64) -> &'static str {
+    if rel_percent >= 75.0 {
+        "red"
+    } else if rel_percent >= 40.0 {
+        "orange"
+    } else if rel_percent >= 10.0 {
+        "yellow"
+    } else {
+        "lightblue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn vcg_structure() {
+        let mut pb = slo_ir::ProgramBuilder::new();
+        let i64t = pb.scalar(slo_ir::ScalarKind::I64);
+        let (rid, _) = pb.record(
+            "t",
+            vec![
+                slo_ir::Field::new("a", i64t),
+                slo_ir::Field::new("b", i64t),
+                slo_ir::Field::new("c", i64t),
+            ],
+        );
+        let p = pb.finish();
+        let mut g = AffinityGraph::new(rid, 3);
+        let set: BTreeSet<u32> = [0u32, 1].into_iter().collect();
+        g.add_group(&set, 100.0);
+        let set2: BTreeSet<u32> = [2u32].into_iter().collect();
+        g.add_group(&set2, 5.0);
+        let vcg = render_vcg(&p, rid, &g);
+        assert!(vcg.starts_with("graph: {"));
+        assert!(vcg.contains("title: \"t\""));
+        assert!(vcg.contains("node: { title: \"a\""));
+        assert!(vcg.contains("node: { title: \"c\""));
+        assert!(vcg.contains("sourcename: \"a\" targetname: \"b\""));
+        assert!(vcg.trim_end().ends_with('}'));
+        // hot nodes red, cold blue
+        assert!(vcg.contains("red"));
+        assert!(vcg.contains("lightblue"));
+    }
+
+    #[test]
+    fn colors_by_band() {
+        assert_eq!(color_for(100.0), "red");
+        assert_eq!(color_for(50.0), "orange");
+        assert_eq!(color_for(20.0), "yellow");
+        assert_eq!(color_for(1.0), "lightblue");
+    }
+}

@@ -1,0 +1,474 @@
+//! Affinity groups, affinity graphs, field hotness and read/write counts —
+//! the paper's §2.3 profitability analysis.
+//!
+//! * Two fields are **affine** when they are accessed close to each other;
+//!   the granularity of "closeness" is the loop level: all fields of a type
+//!   referenced inside the blocks of one loop (excluding nested loops,
+//!   which form their own groups) make one weighted **affinity group**.
+//!   Field references in remaining straight-line code form another group
+//!   weighted with the routine entry frequency.
+//! * Group weight = the incoming edge count of the loop header under the
+//!   chosen weighting scheme (PBO / SPBO / ISPBO / ...).
+//! * Groups with identical field sets merge by adding weights (these are
+//!   the annotations stored in the IELF files); IPA aggregates them into
+//!   one **affinity graph** per type.
+//! * **Hotness** of a field is the total weight of groups containing it
+//!   (the self-edge of the affinity graph).
+//! * **Read/write counts** are collected statement-by-statement using
+//!   block frequencies as counts.
+
+use crate::freq::FuncFreq;
+use crate::util::{DefUse, UseRole};
+use slo_ir::loops::LoopForest;
+use slo_ir::{BlockId, FuncId, Instr, Program, RecordId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A weighted set of fields of one record type accessed "together".
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffinityGroup {
+    /// The record type.
+    pub record: RecordId,
+    /// Field indices in the group.
+    pub fields: BTreeSet<u32>,
+    /// Accumulated weight.
+    pub weight: f64,
+}
+
+/// Read/write counts for one field.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FieldCounts {
+    /// Estimated dynamic reads.
+    pub reads: f64,
+    /// Estimated dynamic writes.
+    pub writes: f64,
+}
+
+/// The IPA affinity graph of one record type.
+///
+/// Nodes are fields; edge `(i, j)` (with `i < j`) carries the summed weight
+/// of groups containing both; the self edge `(i, i)` carries the summed
+/// weight of all groups containing `i` — the field's hotness.
+///
+/// # Examples
+///
+/// ```
+/// use slo_analysis::AffinityGraph;
+/// use slo_ir::RecordId;
+/// use std::collections::BTreeSet;
+///
+/// let mut g = AffinityGraph::new(RecordId(0), 3);
+/// let hot_pair: BTreeSet<u32> = [0, 1].into_iter().collect();
+/// g.add_group(&hot_pair, 90.0);
+/// let cold: BTreeSet<u32> = [2].into_iter().collect();
+/// g.add_group(&cold, 10.0);
+/// assert_eq!(g.relative_hotness(), vec![100.0, 100.0, 10.0 / 90.0 * 100.0]);
+/// assert_eq!(g.edge(0, 1), 90.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AffinityGraph {
+    /// The record type.
+    pub record: RecordId,
+    /// Number of fields of the record.
+    pub nfields: usize,
+    edges: BTreeMap<(u32, u32), f64>,
+}
+
+impl AffinityGraph {
+    /// Empty graph for a record with `nfields` fields.
+    pub fn new(record: RecordId, nfields: usize) -> Self {
+        AffinityGraph {
+            record,
+            nfields,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one affinity group into the graph.
+    pub fn add_group(&mut self, fields: &BTreeSet<u32>, weight: f64) {
+        let fs: Vec<u32> = fields.iter().copied().collect();
+        for (i, &a) in fs.iter().enumerate() {
+            *self.edges.entry((a, a)).or_insert(0.0) += weight;
+            for &b in &fs[i + 1..] {
+                *self.edges.entry((a, b)).or_insert(0.0) += weight;
+            }
+        }
+    }
+
+    /// The affinity weight between two (distinct or equal) fields.
+    pub fn edge(&self, a: u32, b: u32) -> f64 {
+        let k = if a <= b { (a, b) } else { (b, a) };
+        self.edges.get(&k).copied().unwrap_or(0.0)
+    }
+
+    /// Hotness of a field: total weight of groups containing it.
+    pub fn hotness(&self, field: u32) -> f64 {
+        self.edge(field, field)
+    }
+
+    /// Hotness of every field.
+    pub fn hotness_vec(&self) -> Vec<f64> {
+        (0..self.nfields as u32).map(|f| self.hotness(f)).collect()
+    }
+
+    /// Hotness of the whole type (sum over fields) — used to sort types
+    /// in the advisory report.
+    pub fn type_hotness(&self) -> f64 {
+        self.hotness_vec().iter().sum()
+    }
+
+    /// Relative hotness in percent of the hottest field (the paper's
+    /// Table 2 presentation). All-zero input yields all-zero output.
+    pub fn relative_hotness(&self) -> Vec<f64> {
+        let h = self.hotness_vec();
+        let max = h.iter().cloned().fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return h;
+        }
+        h.iter().map(|v| v / max * 100.0).collect()
+    }
+
+    /// Iterate over non-self edges `((a, b), weight)` with `a < b`.
+    pub fn pair_edges(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
+        self.edges
+            .iter()
+            .filter(|((a, b), _)| a != b)
+            .map(|(k, v)| (*k, *v))
+    }
+
+    /// Affinity of `a` to `b` relative to `a`'s strongest edge (incl. its
+    /// self edge), in percent — the presentation used in Figure 2.
+    pub fn relative_affinity(&self, a: u32, b: u32) -> f64 {
+        let max = (0..self.nfields as u32)
+            .map(|x| self.edge(a, x))
+            .fold(0.0f64, f64::max);
+        if max == 0.0 {
+            0.0
+        } else {
+            self.edge(a, b) / max * 100.0
+        }
+    }
+}
+
+/// Collect the affinity groups of one function under the given block
+/// frequencies (the FE side; groups with identical field sets are merged).
+pub fn collect_groups(prog: &Program, fid: FuncId, ff: &FuncFreq) -> Vec<AffinityGroup> {
+    let f = prog.func(fid);
+    let lf = LoopForest::compute(f);
+
+    // bucket: (record, loop-or-straightline) -> field set
+    let mut per_region: HashMap<(RecordId, Option<u32>), BTreeSet<u32>> = HashMap::new();
+    let mut region_weight: HashMap<Option<u32>, f64> = HashMap::new();
+
+    for bid in f.block_ids() {
+        let region = lf.innermost(bid).map(|l| l.0);
+        let w = match region {
+            Some(l) => ff.of(lf.get(slo_ir::loops::LoopId(l)).header),
+            None => ff.of(BlockId(0)),
+        };
+        region_weight.insert(region, w);
+        for ins in &f.block(bid).instrs {
+            if let Instr::FieldAddr { record, field, .. } = ins {
+                per_region
+                    .entry((*record, region))
+                    .or_default()
+                    .insert(*field);
+            }
+        }
+    }
+
+    // merge identical (record, field-set) groups by adding weights
+    let mut merged: BTreeMap<(RecordId, Vec<u32>), f64> = BTreeMap::new();
+    for ((rec, region), fields) in per_region {
+        let key: Vec<u32> = fields.iter().copied().collect();
+        let w = region_weight.get(&region).copied().unwrap_or(0.0);
+        *merged.entry((rec, key)).or_insert(0.0) += w;
+    }
+
+    merged
+        .into_iter()
+        .map(|((record, fields), weight)| AffinityGroup {
+            record,
+            fields: fields.into_iter().collect(),
+            weight,
+        })
+        .collect()
+}
+
+/// Collect per-field read/write counts of one function.
+pub fn collect_field_counts(
+    prog: &Program,
+    fid: FuncId,
+    ff: &FuncFreq,
+) -> HashMap<(RecordId, u32), FieldCounts> {
+    let du = DefUse::build(prog, fid);
+    let mut out: HashMap<(RecordId, u32), FieldCounts> = HashMap::new();
+    for (_, ins) in prog.instrs_of(fid) {
+        if let Instr::FieldAddr {
+            dst, record, field, ..
+        } = ins
+        {
+            let c = out.entry((*record, *field)).or_default();
+            for u in &du.uses[dst.0 as usize] {
+                let w = ff.of(u.at.block);
+                match u.role {
+                    UseRole::LoadAddr => c.reads += w,
+                    UseRole::StoreAddr => c.writes += w,
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// IPA aggregation: affinity graphs for every record type over the whole
+/// program under the given per-function frequencies.
+pub fn build_affinity_graphs(
+    prog: &Program,
+    freqs: &HashMap<FuncId, FuncFreq>,
+) -> HashMap<RecordId, AffinityGraph> {
+    let mut graphs: HashMap<RecordId, AffinityGraph> = HashMap::new();
+    for rid in prog.types.record_ids() {
+        graphs.insert(
+            rid,
+            AffinityGraph::new(rid, prog.types.record(rid).fields.len()),
+        );
+    }
+    let empty = FuncFreq::default();
+    for fid in prog.func_ids() {
+        if !prog.func(fid).is_defined() {
+            continue;
+        }
+        let ff = freqs.get(&fid).unwrap_or(&empty);
+        for g in collect_groups(prog, fid, ff) {
+            graphs
+                .get_mut(&g.record)
+                .expect("graph exists for every record")
+                .add_group(&g.fields, g.weight);
+        }
+    }
+    graphs
+}
+
+/// IPA aggregation of read/write counts over the whole program.
+pub fn build_field_counts(
+    prog: &Program,
+    freqs: &HashMap<FuncId, FuncFreq>,
+) -> HashMap<(RecordId, u32), FieldCounts> {
+    let mut out: HashMap<(RecordId, u32), FieldCounts> = HashMap::new();
+    let empty = FuncFreq::default();
+    for fid in prog.func_ids() {
+        if !prog.func(fid).is_defined() {
+            continue;
+        }
+        let ff = freqs.get(&fid).unwrap_or(&empty);
+        for ((r, fld), c) in collect_field_counts(prog, fid, ff) {
+            let dst = out.entry((r, fld)).or_default();
+            dst.reads += c.reads;
+            dst.writes += c.writes;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::{estimate_static, BranchProbs};
+    use slo_ir::parser::parse;
+
+    const SRC: &str = r#"
+record node { hot1: i64, hot2: i64, cold: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 100
+  r9 = fieldaddr r0, node.cold
+  store 0, r9 : i64
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 100
+  br r2, bb2, bb3
+bb2:
+  r3 = indexaddr r0, node, r1
+  r4 = fieldaddr r3, node.hot1
+  r5 = load r4 : i64
+  r6 = fieldaddr r3, node.hot2
+  store r5, r6 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  ret 0
+}
+"#;
+
+    fn graphs(src: &str) -> (slo_ir::Program, HashMap<RecordId, AffinityGraph>) {
+        let p = parse(src).expect("parse");
+        let mut freqs = HashMap::new();
+        for fid in p.func_ids() {
+            if p.func(fid).is_defined() {
+                freqs.insert(fid, estimate_static(&p, fid, &BranchProbs::default()));
+            }
+        }
+        let g = build_affinity_graphs(&p, &freqs);
+        (p, g)
+    }
+
+    #[test]
+    fn loop_fields_form_one_group() {
+        let p = parse(SRC).expect("parse");
+        let main = p.main().expect("main");
+        let ff = estimate_static(&p, main, &BranchProbs::default());
+        let groups = collect_groups(&p, main, &ff);
+        // one group {hot1, hot2} from the loop, one {cold} straight-line
+        assert_eq!(groups.len(), 2);
+        let loop_group = groups
+            .iter()
+            .find(|g| g.fields.len() == 2)
+            .expect("loop group");
+        assert!(loop_group.fields.contains(&0) && loop_group.fields.contains(&1));
+        let sl_group = groups
+            .iter()
+            .find(|g| g.fields.len() == 1)
+            .expect("straight-line group");
+        assert!(sl_group.fields.contains(&2));
+        assert!(loop_group.weight > sl_group.weight * 5.0);
+    }
+
+    #[test]
+    fn hotness_separates_hot_from_cold() {
+        let (p, g) = graphs(SRC);
+        let node = p.types.record_by_name("node").expect("node");
+        let graph = &g[&node];
+        let rel = graph.relative_hotness();
+        assert!((rel[0] - 100.0).abs() < 1e-9);
+        assert!((rel[1] - 100.0).abs() < 1e-9);
+        assert!(rel[2] < 20.0, "cold field rel hotness {}", rel[2]);
+        // pair edge exists between hot1 and hot2, none to cold
+        assert!(graph.edge(0, 1) > 0.0);
+        assert_eq!(graph.edge(0, 2), 0.0);
+    }
+
+    #[test]
+    fn relative_affinity_percent() {
+        let (p, g) = graphs(SRC);
+        let node = p.types.record_by_name("node").expect("node");
+        let graph = &g[&node];
+        // hot1's strongest edge is its self edge == its pair edge with hot2
+        assert!((graph.relative_affinity(0, 1) - 100.0).abs() < 1e-9);
+        assert_eq!(graph.relative_affinity(0, 2), 0.0);
+    }
+
+    #[test]
+    fn read_write_counts() {
+        let p = parse(SRC).expect("parse");
+        let main = p.main().expect("main");
+        let ff = estimate_static(&p, main, &BranchProbs::default());
+        let counts = collect_field_counts(&p, main, &ff);
+        let node = p.types.record_by_name("node").expect("node");
+        let hot1 = counts[&(node, 0)];
+        let hot2 = counts[&(node, 1)];
+        let cold = counts[&(node, 2)];
+        assert!(hot1.reads > 5.0);
+        assert_eq!(hot1.writes, 0.0);
+        assert_eq!(hot2.reads, 0.0);
+        assert!(hot2.writes > 5.0);
+        assert!((cold.writes - 1.0).abs() < 1e-9);
+        assert_eq!(cold.reads, 0.0);
+    }
+
+    #[test]
+    fn identical_groups_merge() {
+        // two sequential loops touching the same field set must merge
+        let src = r#"
+record r { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc r, 10
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 10
+  br r2, bb2, bb3
+bb2:
+  r3 = fieldaddr r0, r.a
+  r4 = load r3 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r5 = 0
+  jump bb4
+bb4:
+  r6 = cmp.lt r5, 10
+  br r6, bb5, bb6
+bb5:
+  r7 = fieldaddr r0, r.a
+  r8 = load r7 : i64
+  r5 = add r5, 1
+  jump bb4
+bb6:
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let main = p.main().expect("main");
+        let ff = estimate_static(&p, main, &BranchProbs::default());
+        let groups = collect_groups(&p, main, &ff);
+        let a_groups: Vec<_> = groups.iter().filter(|g| g.fields.contains(&0)).collect();
+        assert_eq!(a_groups.len(), 1, "identical groups must merge");
+        // weight is the sum of both loop header frequencies (~8.3 each)
+        assert!(a_groups[0].weight > 14.0);
+    }
+
+    #[test]
+    fn nested_loops_form_separate_groups() {
+        let src = r#"
+record r { inner: i64, outer: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc r, 10
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 10
+  br r2, bb2, bb6
+bb2:
+  r3 = fieldaddr r0, r.outer
+  r4 = load r3 : i64
+  r5 = 0
+  jump bb3
+bb3:
+  r6 = cmp.lt r5, 10
+  br r6, bb4, bb5
+bb4:
+  r7 = fieldaddr r0, r.inner
+  r8 = load r7 : i64
+  r5 = add r5, 1
+  jump bb3
+bb5:
+  r1 = add r1, 1
+  jump bb1
+bb6:
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let main = p.main().expect("main");
+        let ff = estimate_static(&p, main, &BranchProbs::default());
+        let groups = collect_groups(&p, main, &ff);
+        assert_eq!(groups.len(), 2);
+        let inner = groups.iter().find(|g| g.fields.contains(&0)).expect("inner");
+        let outer = groups.iter().find(|g| g.fields.contains(&1)).expect("outer");
+        assert!(inner.weight > outer.weight * 4.0, "inner loop must be hotter");
+    }
+
+    #[test]
+    fn empty_graph_for_untouched_type() {
+        let (p, g) = graphs(
+            "record unused { x: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n",
+        );
+        let rid = p.types.record_by_name("unused").expect("unused");
+        assert_eq!(g[&rid].type_hotness(), 0.0);
+        assert_eq!(g[&rid].relative_hotness(), vec![0.0]);
+    }
+}

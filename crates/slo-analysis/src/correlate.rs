@@ -1,0 +1,148 @@
+//! Linear correlation — the paper's quality metric for weighting schemes.
+//!
+//! Table 2 compares each scheme's relative field hotness against the PBO
+//! baseline using the Pearson correlation coefficient `r`, plus a variant
+//! `r'` that disregards the dominant field (`potential` in 181.mcf), since
+//! one overwhelming field can mask disagreement about the rest.
+
+/// Pearson linear correlation coefficient of two equal-length series.
+///
+/// Returns 0.0 when either series is constant (no variance) or when the
+/// series are shorter than 2 elements.
+///
+/// # Examples
+///
+/// ```
+/// use slo_analysis::correlation;
+///
+/// let r = correlation(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for i in 0..n {
+        let a = x[i] - mx;
+        let b = y[i] - my;
+        num += a * b;
+        dx += a * a;
+        dy += b * b;
+    }
+    if dx == 0.0 || dy == 0.0 {
+        return 0.0;
+    }
+    num / (dx.sqrt() * dy.sqrt())
+}
+
+/// Correlation with one index excluded (the paper's `r'`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or `exclude` is out of
+/// range.
+pub fn correlation_excluding(x: &[f64], y: &[f64], exclude: usize) -> f64 {
+    assert!(exclude < x.len(), "exclude index out of range");
+    let xf: Vec<f64> = x
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != exclude)
+        .map(|(_, v)| *v)
+        .collect();
+    let yf: Vec<f64> = y
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != exclude)
+        .map(|(_, v)| *v)
+        .collect();
+    correlation(&xf, &yf)
+}
+
+/// Index of the maximum element (first on ties); `None` for empty input.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in x.iter().enumerate() {
+        if *v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((correlation(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_correlation_for_constant_series() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(correlation(&x, &y), 0.0);
+        assert_eq!(correlation(&y, &x), 0.0);
+    }
+
+    #[test]
+    fn short_series() {
+        assert_eq!(correlation(&[], &[]), 0.0);
+        assert_eq!(correlation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y = [2.0, 4.0, 1.0, 9.0];
+        assert!((correlation(&x, &y) - correlation(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excluding_dominant_changes_result() {
+        // y agrees with x only on the huge outlier
+        let x = [100.0, 1.0, 2.0, 3.0];
+        let y = [100.0, 3.0, 2.0, 1.0];
+        let r = correlation(&x, &y);
+        let r_prime = correlation_excluding(&x, &y, 0);
+        assert!(r > 0.9, "r = {r}");
+        assert!(r_prime < 0.0, "r' = {r_prime}");
+    }
+
+    #[test]
+    fn argmax_works() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        correlation(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,460 @@
+//! A simple field-sensitive, flow-insensitive points-to analysis.
+//!
+//! The paper estimates the benefit of its field-sensitive Points-To
+//! analysis with a tolerance flag; this module goes one step further and
+//! implements a lightweight Andersen-style analysis so the relaxed
+//! legality mode can be *justified* per type instead of blanket-tolerated:
+//! an exposed field address (ATKN) is harmless when its points-to set
+//! never "collapses" — i.e. the exposed pointer can be shown to reach
+//! only that one field's cell.
+//!
+//! Abstract locations:
+//! * one object per allocation site,
+//! * one object per global variable,
+//! * one cell per (object, field) for record objects, plus a summary
+//!   "element" cell for non-record payloads.
+//!
+//! The analysis is context-insensitive and treats all array elements of
+//! an allocation as one abstract element (standard k=0 heap model).
+
+use slo_ir::{FuncId, Instr, InstrRef, Operand, Program, RecordId, Reg};
+use std::collections::{BTreeSet, HashMap};
+
+/// An abstract memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbsObj {
+    /// An allocation site.
+    Alloc(InstrRef),
+    /// A global variable.
+    Global(u32),
+}
+
+/// What part of an object a pointer targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldRef {
+    /// The object base / summary element.
+    Base,
+    /// A specific field cell.
+    Exact(RecordId, u32),
+    /// Somewhere inside the object, derived by pointer arithmetic from a
+    /// field of this record — the "collapsed" case the paper's sharper
+    /// ATKN test looks for.
+    Blurred(RecordId),
+}
+
+/// An abstract pointer target: an object plus a field reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AbsLoc {
+    /// The object pointed into.
+    pub obj: AbsObj,
+    /// Which part of the object.
+    pub field: FieldRef,
+}
+
+/// Points-to sets for every register of every function, plus per-cell
+/// stores (what each abstract cell may contain).
+#[derive(Debug, Clone, Default)]
+pub struct PointsTo {
+    /// reg -> set of abstract locations, per function.
+    pub reg_pts: HashMap<(FuncId, u32), BTreeSet<AbsLoc>>,
+    /// abstract cell -> set of locations stored into it.
+    pub cell_pts: HashMap<AbsLoc, BTreeSet<AbsLoc>>,
+    /// records whose pointers may be forged from raw integers
+    /// (int-to-pointer casts not covered by the malloc-result tolerance):
+    /// nothing can be proven about such pointers.
+    pub forged: BTreeSet<slo_ir::RecordId>,
+}
+
+impl PointsTo {
+    /// Compute points-to sets for the whole program with a worklist.
+    pub fn compute(prog: &Program) -> Self {
+        let mut pt = PointsTo::default();
+        // Iterate to a fixpoint; programs here are small enough that a
+        // simple round-based solver converges quickly.
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 64 {
+            changed = false;
+            rounds += 1;
+            for fid in prog.func_ids() {
+                if !prog.func(fid).is_defined() {
+                    continue;
+                }
+                if pt.flow_function(prog, fid) {
+                    changed = true;
+                }
+            }
+        }
+        pt
+    }
+
+    fn get_reg(&self, fid: FuncId, r: Reg) -> BTreeSet<AbsLoc> {
+        self.reg_pts
+            .get(&(fid, r.0))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn add_reg(&mut self, fid: FuncId, r: Reg, locs: impl IntoIterator<Item = AbsLoc>) -> bool {
+        let set = self.reg_pts.entry((fid, r.0)).or_default();
+        let before = set.len();
+        set.extend(locs);
+        set.len() != before
+    }
+
+    fn add_cells(&mut self, cells: &BTreeSet<AbsLoc>, vals: &BTreeSet<AbsLoc>) -> bool {
+        let mut changed = false;
+        for c in cells {
+            let set = self.cell_pts.entry(*c).or_default();
+            let before = set.len();
+            set.extend(vals.iter().copied());
+            changed |= set.len() != before;
+        }
+        changed
+    }
+
+    fn op_pts(&self, fid: FuncId, op: Operand) -> BTreeSet<AbsLoc> {
+        match op {
+            Operand::Reg(r) => self.get_reg(fid, r),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    fn flow_function(&mut self, prog: &Program, fid: FuncId) -> bool {
+        let mut changed = false;
+        for (at, ins) in prog.instrs_of(fid) {
+            match ins {
+                Instr::Alloc { dst, .. } | Instr::Realloc { dst, .. } => {
+                    changed |= self.add_reg(
+                        fid,
+                        *dst,
+                        [AbsLoc {
+                            obj: AbsObj::Alloc(at),
+                            field: FieldRef::Base,
+                        }],
+                    );
+                }
+                Instr::AddrOfGlobal { dst, global } => {
+                    changed |= self.add_reg(
+                        fid,
+                        *dst,
+                        [AbsLoc {
+                            obj: AbsObj::Global(global.0),
+                            field: FieldRef::Base,
+                        }],
+                    );
+                }
+                Instr::Assign {
+                    dst,
+                    src: Operand::Reg(s),
+                } => {
+                    let locs = self.get_reg(fid, *s);
+                    changed |= self.add_reg(fid, *dst, locs);
+                }
+                Instr::Cast {
+                    dst,
+                    src,
+                    from,
+                    to,
+                } => {
+                    // pointer forging: int -> ptr<record> with no tracked
+                    // source set means we can prove nothing about the type
+                    if let Some(rid) = prog.types.involved_record(*to) {
+                        let src_empty = match src {
+                            Operand::Reg(s) => self.get_reg(fid, *s).is_empty(),
+                            _ => true,
+                        };
+                        if prog.types.involved_record(*from).is_none() && src_empty
+                            && !self.forged.contains(&rid) {
+                                self.forged.insert(rid);
+                                changed = true;
+                            }
+                    }
+                    if let Operand::Reg(s) = src {
+                        let locs = self.get_reg(fid, *s);
+                        changed |= self.add_reg(fid, *dst, locs);
+                    }
+                }
+                Instr::Bin { dst, lhs, rhs, .. } => {
+                    // pointer arithmetic blurs field precision: the result
+                    // may point anywhere within the same object
+                    let mut blurred = BTreeSet::new();
+                    for op in [lhs, rhs] {
+                        for l in self.op_pts(fid, *op) {
+                            let field = match l.field {
+                                FieldRef::Exact(r, _) => FieldRef::Blurred(r),
+                                other => other,
+                            };
+                            blurred.insert(AbsLoc { obj: l.obj, field });
+                        }
+                    }
+                    if !blurred.is_empty() {
+                        changed |= self.add_reg(fid, *dst, blurred);
+                    }
+                }
+                Instr::FieldAddr {
+                    dst,
+                    base,
+                    record,
+                    field,
+                } => {
+                    let bases = self.op_pts(fid, *base);
+                    let locs: Vec<AbsLoc> = bases
+                        .iter()
+                        .map(|b| AbsLoc {
+                            obj: b.obj,
+                            field: FieldRef::Exact(*record, *field),
+                        })
+                        .collect();
+                    changed |= self.add_reg(fid, *dst, locs);
+                }
+                Instr::IndexAddr { dst, base, .. } => {
+                    // element summary: keep pointing at the object base
+                    let bases: Vec<AbsLoc> = self
+                        .op_pts(fid, *base)
+                        .iter()
+                        .map(|b| AbsLoc {
+                            obj: b.obj,
+                            field: FieldRef::Base,
+                        })
+                        .collect();
+                    changed |= self.add_reg(fid, *dst, bases);
+                }
+                Instr::Load { dst, addr, .. } => {
+                    let cells = self.op_pts(fid, *addr);
+                    let mut vals = BTreeSet::new();
+                    for c in &cells {
+                        if let Some(s) = self.cell_pts.get(c) {
+                            vals.extend(s.iter().copied());
+                        }
+                    }
+                    changed |= self.add_reg(fid, *dst, vals);
+                }
+                Instr::Store { addr, value, .. } => {
+                    let cells = self.op_pts(fid, *addr);
+                    let vals = self.op_pts(fid, *value);
+                    if !vals.is_empty() {
+                        changed |= self.add_cells(&cells, &vals);
+                    }
+                }
+                Instr::LoadGlobal { dst, global } => {
+                    let cell = AbsLoc {
+                        obj: AbsObj::Global(global.0),
+                        field: FieldRef::Base,
+                    };
+                    if let Some(vals) = self.cell_pts.get(&cell).cloned() {
+                        changed |= self.add_reg(fid, *dst, vals);
+                    }
+                }
+                Instr::StoreGlobal { global, value } => {
+                    let cell = AbsLoc {
+                        obj: AbsObj::Global(global.0),
+                        field: FieldRef::Base,
+                    };
+                    let vals = self.op_pts(fid, *value);
+                    if !vals.is_empty() {
+                        let mut cells = BTreeSet::new();
+                        cells.insert(cell);
+                        changed |= self.add_cells(&cells, &vals);
+                    }
+                }
+                Instr::Call { dst, callee, args } => {
+                    // bind arguments to parameters, return set to dst
+                    let cf = prog.func(*callee);
+                    if cf.is_defined() {
+                        for (i, a) in args.iter().enumerate() {
+                            if let Some((pr, _)) = cf.params.get(i) {
+                                let vals = self.op_pts(fid, *a);
+                                if !vals.is_empty() {
+                                    changed |= self.add_reg(*callee, *pr, vals);
+                                }
+                            }
+                        }
+                        if let Some(d) = dst {
+                            // returned pointers: union of all return operands
+                            for (_, rins) in prog.instrs_of(*callee) {
+                                if let Instr::Return { value: Some(v) } = rins {
+                                    let vals = self.op_pts(*callee, *v);
+                                    if !vals.is_empty() {
+                                        changed |= self.add_reg(fid, *d, vals);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        changed
+    }
+
+    /// Whether the points-to set of any pointer derived from a field of
+    /// `rid` "collapses" — i.e. some register may point at two *different*
+    /// fields of the same object, meaning exposed field addresses could
+    /// be used to reach other fields. When this returns `false`, the
+    /// CSTT/CSTF/ATKN violations on `rid` can be safely tolerated.
+    pub fn collapses(&self, rid: RecordId) -> bool {
+        if self.forged.contains(&rid) {
+            return true;
+        }
+        for set in self.reg_pts.values() {
+            let mut fields: BTreeSet<u32> = BTreeSet::new();
+            for l in set {
+                match l.field {
+                    FieldRef::Exact(r, f) if r == rid => {
+                        fields.insert(f);
+                    }
+                    FieldRef::Blurred(r) if r == rid => return true,
+                    _ => {}
+                }
+            }
+            if fields.len() > 1 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::parser::parse;
+
+    #[test]
+    fn alloc_flows_to_register() {
+        let src = r#"
+record node { a: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  r1 = r0
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let main = p.main().expect("main");
+        let s0 = pt.get_reg(main, Reg(0));
+        let s1 = pt.get_reg(main, Reg(1));
+        assert_eq!(s0.len(), 1);
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn field_addresses_are_distinct() {
+        let src = r#"
+record node { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  r1 = fieldaddr r0, node.a
+  r2 = fieldaddr r0, node.b
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let main = p.main().expect("main");
+        let a = pt.get_reg(main, Reg(1));
+        let b = pt.get_reg(main, Reg(2));
+        assert_ne!(a, b);
+        let node = p.types.record_by_name("node").expect("node");
+        assert!(!pt.collapses(node));
+    }
+
+    #[test]
+    fn collapse_via_copied_field_pointer() {
+        // one register aliases both fields — the collapse case
+        let src = r#"
+record node { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  r1 = fieldaddr r0, node.a
+  r3 = r1
+  r2 = fieldaddr r0, node.b
+  br 1, bb1, bb2
+bb1:
+  r3 = r2
+  jump bb2
+bb2:
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let node = p.types.record_by_name("node").expect("node");
+        assert!(pt.collapses(node));
+    }
+
+    #[test]
+    fn flows_through_globals_and_loads() {
+        let src = r#"
+record node { a: i64 }
+global P: ptr<node>
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  gstore r0, P
+  r1 = gload P
+  r2 = fieldaddr r1, node.a
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let main = p.main().expect("main");
+        let r1 = pt.get_reg(main, Reg(1));
+        assert_eq!(r1.len(), 1, "global load must recover the allocation");
+        let r2 = pt.get_reg(main, Reg(2));
+        assert!(r2
+            .iter()
+            .all(|l| matches!(l.field, FieldRef::Exact(..))));
+    }
+
+    #[test]
+    fn flows_through_calls() {
+        let src = r#"
+record node { a: i64 }
+func id(ptr<node>) -> ptr<node> {
+bb0:
+  ret r0
+}
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  r1 = call id(r0)
+  r2 = fieldaddr r1, node.a
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let main = p.main().expect("main");
+        assert_eq!(pt.get_reg(main, Reg(1)).len(), 1);
+    }
+
+    #[test]
+    fn stores_into_heap_cells() {
+        let src = r#"
+record list { next: ptr<list> }
+func main() -> i64 {
+bb0:
+  r0 = alloc list, 1
+  r1 = alloc list, 1
+  r2 = fieldaddr r0, list.next
+  store r1, r2 : ptr<list>
+  r3 = load r2 : ptr<list>
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let pt = PointsTo::compute(&p);
+        let main = p.main().expect("main");
+        let r3 = pt.get_reg(main, Reg(3));
+        let r1 = pt.get_reg(main, Reg(1));
+        assert_eq!(r3, r1, "load must recover what the store put there");
+    }
+}

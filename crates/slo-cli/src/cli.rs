@@ -1,0 +1,614 @@
+//! Argument parsing and subcommand implementations.
+//!
+//! ```text
+//! slo run <file.sir>                         execute on the simulated machine
+//! slo analyze <file.sir> [--relax]           legality verdicts per type
+//! slo advise <file.sir> [--scheme S] [--profile]
+//!                                            the §3 advisory report (+ advice)
+//! slo optimize <file.sir> [-o out.sir] [--scheme S] [--profile]
+//!                                            run the pipeline, print/emit IR
+//! slo profile <file.sir> [-o out.prof]       PBO collection: run instrumented,
+//!                                            write the feedback file
+//! slo vcg <file.sir> <record>                VCG control file for one type
+//! ```
+//!
+//! Schemes: `spbo`, `ispbo` (default), `ispbo.no`, `ispbo.w`, `pbo`
+//! (`pbo` requires `--profile <file.prof>` or `--profile` to collect one
+//! on the fly).
+
+use slo::analysis::{analyze_program, LegalityConfig, WeightScheme};
+use slo::pipeline::{compile, evaluate, PipelineConfig};
+use slo::vm::{Feedback, VmOptions};
+use slo_ir::parser::parse;
+use slo_ir::Program;
+use std::fmt::Write as _;
+
+/// Top-level error type for the CLI.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+type Result<T> = std::result::Result<T, CliError>;
+
+const USAGE: &str = "\
+usage: slo <command> [options]
+
+commands:
+  run <file.sir>                         execute on the simulated machine
+  analyze <file.sir> [--relax]           legality verdicts per record type
+  advise <file.sir> [--scheme S] [--profile [file]]
+                                         annotated type layouts + advice
+  optimize <file.sir> [-o out.sir] [--scheme S] [--profile [file]] [--measure]
+                                         run the FE/IPA/BE pipeline
+  profile <file.sir> [-o out.prof]       collect an edge/d-cache profile
+  vcg <file.sir> <record>                VCG affinity graph for one type
+  print <file.sir>                       parse, verify and pretty-print IR
+  help                                   this text
+
+schemes: spbo | ispbo (default) | ispbo.no | ispbo.w | pbo
+";
+
+/// Parse arguments and run the selected subcommand, returning its stdout.
+pub fn dispatch(args: &[String]) -> Result<String> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError(format!("missing command\n{USAGE}")));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "analyze" => cmd_analyze(rest),
+        "advise" => cmd_advise(rest),
+        "optimize" => cmd_optimize(rest),
+        "profile" => cmd_profile(rest),
+        "vcg" => cmd_vcg(rest),
+        "print" => cmd_print(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+/// Minimal flag scanner: returns (positional, flags-with-optional-values).
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut positional = Vec::new();
+    let mut flags: Vec<(String, Option<String>)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with('-'))
+                .cloned();
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push((name.to_string(), value));
+        } else if a == "-o" {
+            let value = args.get(i + 1).cloned();
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push(("o".to_string(), value));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Opts { positional, flags }
+}
+
+impl Opts {
+    fn flag(&self, name: &str) -> Option<&(String, Option<String>)> {
+        self.flags.iter().find(|(n, _)| n == name)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flag(name).and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn load_program(path: &str) -> Result<Program> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let prog = parse(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let errs = slo_ir::verify::verify(&prog);
+    if !errs.is_empty() {
+        let msgs: Vec<String> = errs.iter().map(|e| format!("  {e}")).collect();
+        return Err(CliError(format!(
+            "{path}: invalid IR:\n{}",
+            msgs.join("\n")
+        )));
+    }
+    Ok(prog)
+}
+
+/// Resolve the scheme flags into a `WeightScheme` plus (possibly) an
+/// owned feedback the scheme borrows from. The feedback must outlive the
+/// scheme, hence the slightly awkward split.
+fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
+    if !opts.has("profile") {
+        // `--scheme pbo` without --profile is rejected later by
+        // `scheme_for`; profiles are only collected/loaded on request
+        return Ok(None);
+    }
+    if let Some(path) = opts.value("profile") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read profile `{path}`: {e}")))?;
+        let fb = Feedback::from_text(&text)
+            .map_err(|e| CliError(format!("profile `{path}`: {e}")))?;
+        return Ok(Some(fb));
+    }
+    // collect on the fly
+    let fb = slo::collect_profile(prog).map_err(|e| CliError(format!("profiling run: {e}")))?;
+    Ok(Some(fb))
+}
+
+fn scheme_for<'a>(opts: &Opts, feedback: Option<&'a Feedback>) -> Result<WeightScheme<'a>> {
+    let name = opts.value("scheme").unwrap_or(if feedback.is_some() {
+        "pbo"
+    } else {
+        "ispbo"
+    });
+    Ok(match (name.to_ascii_lowercase().as_str(), feedback) {
+        ("pbo", Some(fb)) => WeightScheme::Pbo(fb),
+        ("pbo", None) => {
+            return Err(CliError(
+                "scheme `pbo` needs --profile (a file, or bare to collect one)".into(),
+            ))
+        }
+        ("spbo", _) => WeightScheme::Spbo,
+        ("ispbo", _) => WeightScheme::Ispbo,
+        ("ispbo.no", _) => WeightScheme::IspboNo,
+        ("ispbo.w", _) => WeightScheme::IspboW,
+        (other, _) => return Err(CliError(format!("unknown scheme `{other}`"))),
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("run: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    let out = slo::vm::run(&prog, &VmOptions::default())
+        .map_err(|e| CliError(format!("execution failed: {e}")))?;
+    let mut s = String::new();
+    let _ = writeln!(s, "exit      : {}", out.exit);
+    let _ = writeln!(s, "instrs    : {}", out.stats.instructions);
+    let _ = writeln!(s, "cycles    : {}", out.stats.cycles);
+    let _ = writeln!(
+        s,
+        "loads     : {} ({} stores)",
+        out.stats.loads, out.stats.stores
+    );
+    for (i, lvl) in out.stats.cache.levels.iter().enumerate() {
+        let _ = writeln!(s, "L{} hits   : {} / {} misses", i + 1, lvl.hits, lvl.misses);
+    }
+    let _ = writeln!(s, "memory    : {}", out.stats.cache.memory_accesses);
+    let _ = writeln!(s, "heap peak : {} bytes", out.stats.peak_live_bytes);
+    Ok(s)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("analyze: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    let cfg = LegalityConfig {
+        relax_cast_addr: opts.has("relax"),
+        ..Default::default()
+    };
+    let res = analyze_program(&prog, &cfg);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{} record types, {} legal{}",
+        res.num_types(),
+        res.num_legal(),
+        if opts.has("relax") { " (relaxed)" } else { "" }
+    );
+    for rid in prog.types.record_ids() {
+        let v = res.verdict(rid);
+        let rec = prog.types.record(rid);
+        let status = if v.legal() {
+            "*OK*".to_string()
+        } else {
+            v.invalid
+                .iter()
+                .map(|t| t.abbrev())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let _ = writeln!(
+            s,
+            "  {:<24} {:>3} fields {:>5} bytes  {}",
+            rec.name,
+            rec.fields.len(),
+            prog.types.layout_of(rid).size,
+            status
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_advise(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("advise: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    let feedback = collect_feedback(&prog, &opts)?;
+    let scheme = scheme_for(&opts, feedback.as_ref())?;
+
+    let ipa = analyze_program(&prog, &LegalityConfig::default());
+    let graphs = slo::analysis::affinity_graphs(&prog, &scheme);
+    let freqs = slo::analysis::block_frequencies(&prog, &scheme);
+    let counts = slo::analysis::affinity::build_field_counts(&prog, &freqs);
+    let dcache = feedback
+        .as_ref()
+        .map(|fb| slo::analysis::attribute_samples(&prog, fb));
+    let strides = feedback
+        .as_ref()
+        .map(|fb| slo::analysis::attribute_strides(&prog, fb));
+
+    let input = slo::advisor::AdvisorInput {
+        prog: &prog,
+        ipa: &ipa,
+        graphs: &graphs,
+        counts: &counts,
+        dcache: dcache.as_ref(),
+        strides: strides.as_ref(),
+        plan: None,
+    };
+    let mut s = slo::advisor::render_report(&input);
+    for rid in prog.types.record_ids() {
+        let suggestion =
+            slo::advisor::suggest_layout(&prog, rid, &graphs[&rid], 10.0);
+        if suggestion.is_nontrivial() {
+            s.push_str(&slo::advisor::render_suggestion(&prog, &suggestion));
+        }
+    }
+    for rid in prog.types.record_ids() {
+        let advice = slo::advisor::classify(
+            &prog,
+            rid,
+            &graphs[&rid],
+            &counts,
+            dcache.as_ref(),
+            &slo::advisor::ScenarioConfig::default(),
+        );
+        if !advice.is_empty() {
+            let _ = writeln!(s, "advice for {}:", prog.types.record(rid).name);
+            for a in advice {
+                let _ = writeln!(s, "  * {a}");
+            }
+        }
+    }
+    Ok(s)
+}
+
+fn cmd_optimize(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("optimize: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    let feedback = collect_feedback(&prog, &opts)?;
+    let scheme = scheme_for(&opts, feedback.as_ref())?;
+    let res = compile(&prog, &scheme, &PipelineConfig::default())
+        .map_err(|e| CliError(format!("pipeline: {e}")))?;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "scheme {} -> {} type(s) transformed",
+        scheme.name(),
+        res.plan.num_transformed()
+    );
+    for rid in prog.types.record_ids() {
+        let t = res.plan.of(rid);
+        if t.is_some() {
+            let _ = writeln!(s, "  {:<24} {:?}", prog.types.record(rid).name, t);
+        }
+    }
+
+    let text = slo_ir::printer::print_program(&res.program);
+    if let Some(out) = opts.value("o") {
+        std::fs::write(out, &text)
+            .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        let _ = writeln!(s, "wrote {out}");
+    } else if !opts.has("measure") {
+        s.push_str(&text);
+    }
+
+    if opts.has("measure") {
+        let eval = evaluate(&prog, &res.program, &VmOptions::default())
+            .map_err(|e| CliError(format!("evaluation: {e}")))?;
+        let _ = writeln!(
+            s,
+            "cycles {} -> {} ({:+.1}%)",
+            eval.baseline_cycles,
+            eval.optimized_cycles,
+            eval.speedup_percent()
+        );
+    }
+    Ok(s)
+}
+
+fn cmd_profile(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("profile: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    let fb = slo::collect_profile(&prog).map_err(|e| CliError(format!("profiling run: {e}")))?;
+    let text = fb.to_text();
+    if let Some(out) = opts.value("o") {
+        std::fs::write(out, &text)
+            .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        Ok(format!(
+            "wrote {out} ({} functions, {} edge count total)\n",
+            fb.funcs.len(),
+            fb.total_edge_count()
+        ))
+    } else {
+        Ok(text)
+    }
+}
+
+fn cmd_print(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(CliError("print: expected exactly one input file".into()));
+    };
+    let prog = load_program(path)?;
+    Ok(slo_ir::printer::print_program(&prog))
+}
+
+fn cmd_vcg(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path, record] = &opts.positional[..] else {
+        return Err(CliError("vcg: expected <file.sir> <record>".into()));
+    };
+    let prog = load_program(path)?;
+    let rid = prog
+        .types
+        .record_by_name(record)
+        .ok_or_else(|| CliError(format!("no record type `{record}`")))?;
+    let feedback = collect_feedback(&prog, &opts)?;
+    let scheme = scheme_for(&opts, feedback.as_ref())?;
+    let graphs = slo::analysis::affinity_graphs(&prog, &scheme);
+    Ok(slo::advisor::render_vcg(&prog, rid, &graphs[&rid]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_sample() -> tempfile_path::TempPath {
+        tempfile_path::write_temp(
+            "sample.sir",
+            r#"
+record pair { hot: i64, c1: i64, c2: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc pair, 64
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 64
+  br r2, bb2, bb3
+bb2:
+  r3 = indexaddr r0, pair, r1
+  r4 = fieldaddr r3, pair.hot
+  store r1, r4 : i64
+  r5 = load r4 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r6 = fieldaddr r0, pair.c1
+  store 1, r6 : i64
+  r7 = load r6 : i64
+  r8 = fieldaddr r0, pair.c2
+  store 2, r8 : i64
+  r9 = load r8 : i64
+  r10 = add r7, r9
+  ret r10
+}
+"#,
+        )
+    }
+
+    /// Tiny temp-file helper (no external crates).
+    mod tempfile_path {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub struct TempPath(pub PathBuf);
+
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub fn write_temp(name: &str, contents: &str) -> TempPath {
+            let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let mut p = std::env::temp_dir();
+            p.push(format!("slo-cli-test-{}-{id}-{name}", std::process::id()));
+            std::fs::write(&p, contents).expect("write temp file");
+            TempPath(p)
+        }
+    }
+
+    fn dispatch_str(args: &[&str]) -> Result<String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch_str(&["help"]).expect("help ok");
+        assert!(out.contains("usage: slo"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(dispatch_str(&["bogus"]).is_err());
+        assert!(dispatch_str(&[]).is_err());
+    }
+
+    #[test]
+    fn run_executes() {
+        let f = write_sample();
+        let out = dispatch_str(&["run", f.0.to_str().expect("utf8 path")]).expect("run ok");
+        assert!(out.contains("exit      : 3"));
+        assert!(out.contains("cycles"));
+    }
+
+    #[test]
+    fn analyze_reports_types() {
+        let f = write_sample();
+        let out =
+            dispatch_str(&["analyze", f.0.to_str().expect("utf8 path")]).expect("analyze ok");
+        assert!(out.contains("1 record types, 1 legal"));
+        assert!(out.contains("pair"));
+        assert!(out.contains("*OK*"));
+    }
+
+    #[test]
+    fn advise_renders_report() {
+        let f = write_sample();
+        let out =
+            dispatch_str(&["advise", f.0.to_str().expect("utf8 path")]).expect("advise ok");
+        assert!(out.contains("Type     : pair"));
+        assert!(out.contains("\"hot\""));
+    }
+
+    #[test]
+    fn optimize_prints_plan_and_ir() {
+        let f = write_sample();
+        let out = dispatch_str(&[
+            "optimize",
+            f.0.to_str().expect("utf8 path"),
+            "--scheme",
+            "ispbo",
+        ])
+        .expect("optimize ok");
+        assert!(out.contains("transformed"));
+        assert!(out.contains("record pair"));
+    }
+
+    #[test]
+    fn optimize_measure_runs_both() {
+        let f = write_sample();
+        let out = dispatch_str(&[
+            "optimize",
+            f.0.to_str().expect("utf8 path"),
+            "--measure",
+        ])
+        .expect("optimize ok");
+        assert!(out.contains("cycles"));
+        assert!(out.contains("%"));
+    }
+
+    #[test]
+    fn profile_roundtrips_through_file() {
+        let f = write_sample();
+        let prof = tempfile_path::write_temp("p.prof", "");
+        let out = dispatch_str(&[
+            "profile",
+            f.0.to_str().expect("utf8 path"),
+            "-o",
+            prof.0.to_str().expect("utf8 path"),
+        ])
+        .expect("profile ok");
+        assert!(out.contains("wrote"));
+        // use the profile for a pbo advise
+        let out = dispatch_str(&[
+            "advise",
+            f.0.to_str().expect("utf8 path"),
+            "--scheme",
+            "pbo",
+            "--profile",
+            prof.0.to_str().expect("utf8 path"),
+        ])
+        .expect("pbo advise ok");
+        assert!(out.contains("Type     : pair"));
+        assert!(out.contains("miss :"), "d-cache data must be attributed");
+    }
+
+    #[test]
+    fn print_normalizes_ir() {
+        let f = write_sample();
+        let out = dispatch_str(&["print", f.0.to_str().expect("utf8 path")])
+            .expect("print ok");
+        assert!(out.contains("record pair"));
+        assert!(out.contains("func main() -> i64 {"));
+        // printing is a fixpoint
+        let f2 = tempfile_path::write_temp("round.sir", &out);
+        let out2 = dispatch_str(&["print", f2.0.to_str().expect("utf8 path")])
+            .expect("reprint ok");
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn vcg_emits_graph() {
+        let f = write_sample();
+        let out = dispatch_str(&["vcg", f.0.to_str().expect("utf8 path"), "pair"])
+            .expect("vcg ok");
+        assert!(out.starts_with("graph: {"));
+        assert!(out.contains("\"hot\""));
+    }
+
+    #[test]
+    fn vcg_unknown_record_fails() {
+        let f = write_sample();
+        assert!(dispatch_str(&["vcg", f.0.to_str().expect("utf8 path"), "zzz"]).is_err());
+    }
+
+    #[test]
+    fn pbo_without_profile_fails() {
+        let f = write_sample();
+        let err = dispatch_str(&[
+            "optimize",
+            f.0.to_str().expect("utf8 path"),
+            "--scheme",
+            "pbo",
+        ]);
+        // bare `pbo` without --profile collects nothing and errors
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bad_file_reports_error() {
+        assert!(dispatch_str(&["run", "/nonexistent/x.sir"]).is_err());
+        let bad = tempfile_path::write_temp("bad.sir", "record { }");
+        assert!(dispatch_str(&["run", bad.0.to_str().expect("utf8 path")]).is_err());
+    }
+}

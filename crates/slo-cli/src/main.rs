@@ -1,0 +1,21 @@
+//! `slo` — the standalone command-line tool the paper's §5 envisions:
+//! the analysis/advisory phase repackaged outside the compiler, plus the
+//! optimizer and the simulated machine, driven over textual IR files.
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("slo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! End-to-end tests of the installed `slo` binary (real process spawn,
+//! real files) against the shipped sample program.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn slo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_slo"))
+}
+
+fn sample() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("examples/ir/interleaved.sir");
+    assert!(p.exists(), "sample missing: {}", p.display());
+    p
+}
+
+#[test]
+fn analyze_sample_file() {
+    let out = slo()
+        .args(["analyze"])
+        .arg(sample())
+        .output()
+        .expect("spawn slo");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 record types, 1 legal"));
+    assert!(text.contains("item"));
+}
+
+#[test]
+fn optimize_writes_output_file() {
+    let dir = std::env::temp_dir();
+    let out_path = dir.join(format!("slo-e2e-{}.sir", std::process::id()));
+    let out = slo()
+        .args(["optimize"])
+        .arg(sample())
+        .arg("-o")
+        .arg(&out_path)
+        .output()
+        .expect("spawn slo");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let written = std::fs::read_to_string(&out_path).expect("output written");
+    assert!(written.contains("record item"));
+    assert!(written.contains("item_cold"), "split must have happened");
+    // the emitted IR is itself runnable
+    let run = slo().args(["run"]).arg(&out_path).output().expect("spawn slo");
+    assert!(run.status.success());
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn bad_input_exits_nonzero() {
+    let out = slo()
+        .args(["run", "/nonexistent.sir"])
+        .output()
+        .expect("spawn slo");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = slo().args(["help"]).output().expect("spawn slo");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: slo"));
+}

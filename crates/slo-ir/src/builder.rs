@@ -1,0 +1,747 @@
+//! Ergonomic construction of IR programs.
+//!
+//! [`ProgramBuilder`] declares types, globals and function signatures;
+//! [`FuncBuilder`] fills in function bodies with structured-control-flow
+//! helpers (`count_loop`, `while_loop`, `if_then`, …) so workload authors
+//! never juggle raw block ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use slo_ir::builder::ProgramBuilder;
+//! use slo_ir::types::{Field, ScalarKind};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let i64t = pb.scalar(ScalarKind::I64);
+//! let (node, node_ty) = pb.record("node", vec![
+//!     Field::new("hot", i64t),
+//!     Field::new("cold", i64t),
+//! ]);
+//! let main = pb.declare("main", vec![], i64t);
+//! pb.define(main, |fb| {
+//!     let arr = fb.alloc(node_ty, 100i64.into());
+//!     let sum = fb.fresh();
+//!     fb.assign(sum, 0i64.into());
+//!     fb.count_loop(100i64.into(), |fb, i| {
+//!         let e = fb.index_addr(arr, node_ty, i.into());
+//!         let pa = fb.field_addr(e.into(), node, 0);
+//!         let v = fb.load(pa.into(), i64t);
+//!         let s2 = fb.add(sum.into(), v.into());
+//!         fb.assign(sum, s2.into());
+//!     });
+//!     fb.ret(Some(sum.into()));
+//! });
+//! let prog = pb.finish();
+//! assert_eq!(prog.funcs.len(), 1);
+//! ```
+
+use crate::instr::{BinOp, BlockId, CmpOp, Const, FuncId, GlobalId, Instr, Operand, Reg};
+use crate::module::{BasicBlock, FuncKind, Function, GlobalVar, Program, Unit};
+use crate::types::{Field, RecordId, RecordType, ScalarKind, TypeId};
+
+/// Builds a whole [`Program`]: types, globals, function signatures, bodies.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    prog: Program,
+    cur_unit: usize,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Create a builder with one default compilation unit.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            prog: Program::new(),
+            cur_unit: 0,
+        }
+    }
+
+    /// Start a new compilation unit; subsequent declarations belong to it.
+    pub fn unit(&mut self, name: impl Into<String>) -> usize {
+        self.prog.units.push(Unit { name: name.into() });
+        self.cur_unit = self.prog.units.len() - 1;
+        self.cur_unit
+    }
+
+    /// Intern a scalar type.
+    pub fn scalar(&mut self, k: ScalarKind) -> TypeId {
+        self.prog.types.scalar(k)
+    }
+
+    /// Intern a pointer type.
+    pub fn ptr(&mut self, to: TypeId) -> TypeId {
+        self.prog.types.ptr(to)
+    }
+
+    /// Intern the void type.
+    pub fn void(&mut self) -> TypeId {
+        self.prog.types.void()
+    }
+
+    /// Intern an array type.
+    pub fn array(&mut self, elem: TypeId, len: u64) -> TypeId {
+        self.prog.types.array(elem, len)
+    }
+
+    /// Intern the function-pointer type.
+    pub fn func_ptr(&mut self) -> TypeId {
+        self.prog.types.func_ptr()
+    }
+
+    /// Declare a record type.
+    pub fn record(&mut self, name: impl Into<String>, fields: Vec<Field>) -> (RecordId, TypeId) {
+        self.prog.types.add_record(RecordType {
+            name: name.into(),
+            fields,
+        })
+    }
+
+    /// Declare a record type with no fields yet (for recursive types);
+    /// complete it later with [`ProgramBuilder::complete_record`].
+    pub fn record_fwd(&mut self, name: impl Into<String>) -> (RecordId, TypeId) {
+        self.prog.types.add_record(RecordType {
+            name: name.into(),
+            fields: vec![],
+        })
+    }
+
+    /// Fill in the fields of a forward-declared record.
+    pub fn complete_record(&mut self, rid: RecordId, fields: Vec<Field>) {
+        let name = self.prog.types.record(rid).name.clone();
+        self.prog.types.replace_record(rid, RecordType { name, fields });
+    }
+
+    /// Add a global variable.
+    pub fn global(&mut self, name: impl Into<String>, ty: TypeId) -> GlobalId {
+        self.prog.add_global(GlobalVar {
+            name: name.into(),
+            ty,
+        })
+    }
+
+    /// Declare a defined function (body filled in later via
+    /// [`ProgramBuilder::define`]). Parameters become registers `0..n`.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<TypeId>,
+        ret: TypeId,
+    ) -> FuncId {
+        self.declare_kind(name, params, ret, FuncKind::Defined)
+    }
+
+    /// Declare an external (out-of-scope) function.
+    pub fn external(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<TypeId>,
+        ret: TypeId,
+    ) -> FuncId {
+        self.declare_kind(name, params, ret, FuncKind::External)
+    }
+
+    /// Declare a standard-library function (LIBC-marked).
+    pub fn libc(&mut self, name: impl Into<String>, params: Vec<TypeId>, ret: TypeId) -> FuncId {
+        self.declare_kind(name, params, ret, FuncKind::Libc)
+    }
+
+    fn declare_kind(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<TypeId>,
+        ret: TypeId,
+        kind: FuncKind,
+    ) -> FuncId {
+        let params: Vec<(Reg, TypeId)> = params
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (Reg(i as u32), t))
+            .collect();
+        let num_regs = params.len() as u32;
+        self.prog.add_func(Function {
+            name: name.into(),
+            params,
+            ret,
+            kind,
+            blocks: if kind == FuncKind::Defined {
+                vec![BasicBlock::default()]
+            } else {
+                vec![]
+            },
+            num_regs,
+            unit: self.cur_unit,
+        })
+    }
+
+    /// Build the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is not `Defined`.
+    pub fn define(&mut self, fid: FuncId, build: impl FnOnce(&mut FuncBuilder<'_>)) {
+        assert!(
+            self.prog.func(fid).is_defined(),
+            "cannot define body of non-defined function `{}`",
+            self.prog.func(fid).name
+        );
+        let func = std::mem::replace(
+            &mut self.prog.funcs[fid.index()],
+            Function {
+                name: String::new(),
+                params: vec![],
+                ret: TypeId(0),
+                kind: FuncKind::Defined,
+                blocks: vec![],
+                num_regs: 0,
+                unit: 0,
+            },
+        );
+        let mut fb = FuncBuilder {
+            prog: &mut self.prog,
+            func,
+            cur: BlockId(0),
+        };
+        build(&mut fb);
+        let func = fb.func;
+        self.prog.funcs[fid.index()] = func;
+    }
+
+    /// Finish building; returns the program.
+    pub fn finish(self) -> Program {
+        self.prog
+    }
+
+    /// Read-only access to the program under construction.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+}
+
+/// Builds one function body. Obtained from [`ProgramBuilder::define`].
+#[derive(Debug)]
+pub struct FuncBuilder<'a> {
+    prog: &'a mut Program,
+    func: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder<'_> {
+    /// The register holding parameter `i`.
+    pub fn param(&self, i: usize) -> Reg {
+        self.func.params[i].0
+    }
+
+    /// Allocate a fresh register.
+    pub fn fresh(&mut self) -> Reg {
+        self.func.fresh_reg()
+    }
+
+    /// Access the program's type table (interning allowed).
+    pub fn types(&mut self) -> &mut crate::types::TypeTable {
+        &mut self.prog.types
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Create a new (empty, unlinked) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.blocks.push(BasicBlock::default());
+        BlockId(self.func.blocks.len() as u32 - 1)
+    }
+
+    /// Switch the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// Append a raw instruction to the current block.
+    pub fn push(&mut self, i: Instr) {
+        self.func.blocks[self.cur.index()].instrs.push(i);
+    }
+
+    // ---- straight-line instruction helpers -------------------------------
+
+    /// `dst = src`.
+    pub fn assign(&mut self, dst: Reg, src: Operand) {
+        self.push(Instr::Assign { dst, src });
+    }
+
+    /// Materialize an integer constant into a fresh register.
+    pub fn iconst(&mut self, v: i64) -> Reg {
+        let dst = self.fresh();
+        self.assign(dst, Operand::Const(Const::Int(v)));
+        dst
+    }
+
+    /// Materialize a float constant into a fresh register.
+    pub fn fconst(&mut self, v: f64) -> Reg {
+        let dst = self.fresh();
+        self.assign(dst, Operand::Const(Const::Float(v)));
+        dst
+    }
+
+    /// Generic binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Bin { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `lhs / rhs`.
+    pub fn div(&mut self, lhs: Operand, rhs: Operand) -> Reg {
+        self.bin(BinOp::Div, lhs, rhs)
+    }
+
+    /// Comparison producing 0/1.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Cmp { dst, op, lhs, rhs });
+        dst
+    }
+
+    /// Cast a value between types (pointer casts fire CSTT/CSTF analyses).
+    pub fn cast(&mut self, src: Operand, from: TypeId, to: TypeId) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Cast { dst, src, from, to });
+        dst
+    }
+
+    /// Address of `record.field` given a base pointer.
+    pub fn field_addr(&mut self, base: Operand, record: RecordId, field: u32) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::FieldAddr {
+            dst,
+            base,
+            record,
+            field,
+        });
+        dst
+    }
+
+    /// Address of element `index` of an array of `elem` starting at `base`.
+    pub fn index_addr(&mut self, base: impl Into<Operand>, elem: TypeId, index: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::IndexAddr {
+            dst,
+            base: base.into(),
+            elem,
+            index,
+        });
+        dst
+    }
+
+    /// Load a value of type `ty` from `addr`.
+    pub fn load(&mut self, addr: Operand, ty: TypeId) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Load { dst, addr, ty });
+        dst
+    }
+
+    /// Store `value` of type `ty` to `addr`.
+    pub fn store(&mut self, addr: Operand, value: Operand, ty: TypeId) {
+        self.push(Instr::Store { addr, value, ty });
+    }
+
+    /// Convenience: load field `field` of `record` behind `base`.
+    pub fn load_field(&mut self, base: Operand, record: RecordId, field: u32) -> Reg {
+        let fty = self.prog.types.record(record).fields[field as usize].ty;
+        let a = self.field_addr(base, record, field);
+        self.load(a.into(), fty)
+    }
+
+    /// Convenience: store `value` into field `field` of `record` at `base`.
+    pub fn store_field(&mut self, base: Operand, record: RecordId, field: u32, value: Operand) {
+        let fty = self.prog.types.record(record).fields[field as usize].ty;
+        let a = self.field_addr(base, record, field);
+        self.store(a.into(), value, fty);
+    }
+
+    /// Read a global.
+    pub fn load_global(&mut self, g: GlobalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::LoadGlobal { dst, global: g });
+        dst
+    }
+
+    /// Write a global.
+    pub fn store_global(&mut self, g: GlobalId, value: Operand) {
+        self.push(Instr::StoreGlobal { global: g, value });
+    }
+
+    /// Address of a global aggregate.
+    pub fn addr_of_global(&mut self, g: GlobalId) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::AddrOfGlobal { dst, global: g });
+        dst
+    }
+
+    /// `malloc(count * sizeof(elem))`.
+    pub fn alloc(&mut self, elem: TypeId, count: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Alloc {
+            dst,
+            elem,
+            count,
+            zeroed: false,
+        });
+        dst
+    }
+
+    /// `calloc(count, sizeof(elem))`.
+    pub fn calloc(&mut self, elem: TypeId, count: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Alloc {
+            dst,
+            elem,
+            count,
+            zeroed: true,
+        });
+        dst
+    }
+
+    /// `free(ptr)`.
+    pub fn free(&mut self, ptr: Operand) {
+        self.push(Instr::Free { ptr });
+    }
+
+    /// `realloc(ptr, count * sizeof(elem))`.
+    pub fn realloc(&mut self, ptr: Operand, elem: TypeId, count: Operand) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Realloc {
+            dst,
+            ptr,
+            elem,
+            count,
+        });
+        dst
+    }
+
+    /// `memcpy(dst, src, bytes)`.
+    pub fn memcpy(&mut self, dst: Operand, src: Operand, bytes: Operand) {
+        self.push(Instr::Memcpy { dst, src, bytes });
+    }
+
+    /// `memset(dst, val, bytes)`.
+    pub fn memset(&mut self, dst: Operand, val: Operand, bytes: Operand) {
+        self.push(Instr::Memset { dst, val, bytes });
+    }
+
+    /// Direct call with a result.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        });
+        dst
+    }
+
+    /// Direct call ignoring any result.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Operand>) {
+        self.push(Instr::Call {
+            dst: None,
+            callee,
+            args,
+        });
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(
+        &mut self,
+        target: Operand,
+        args: Vec<Operand>,
+        arg_types: Vec<TypeId>,
+    ) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::CallIndirect {
+            dst: Some(dst),
+            target,
+            args,
+            arg_types,
+        });
+        dst
+    }
+
+    /// Materialize a function pointer.
+    pub fn func_addr(&mut self, f: FuncId) -> Reg {
+        let dst = self.fresh();
+        self.push(Instr::FuncAddr { dst, func: f });
+        dst
+    }
+
+    // ---- control flow helpers --------------------------------------------
+
+    /// Unconditional jump; leaves the insertion point unchanged.
+    pub fn jump(&mut self, target: BlockId) {
+        self.push(Instr::Jump { target });
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.push(Instr::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.push(Instr::Return { value });
+    }
+
+    /// Build a counted loop `for i in 0..n { body }`. The induction
+    /// register is passed to `body`. After this call the insertion point
+    /// is the loop exit block.
+    pub fn count_loop(&mut self, n: Operand, body: impl FnOnce(&mut Self, Reg)) {
+        let i = self.fresh();
+        self.assign(i, Operand::int(0));
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = self.cmp(CmpOp::Lt, i.into(), n);
+        self.branch(c.into(), body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i);
+        let inext = self.add(i.into(), Operand::int(1));
+        self.assign(i, inext.into());
+        self.jump(head);
+        self.switch_to(exit);
+    }
+
+    /// Build a while loop. `cond` emits code in the header block and
+    /// returns the condition operand; `body` fills the loop body. The
+    /// insertion point ends at the exit block.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jump(head);
+        self.switch_to(head);
+        let c = cond(self);
+        self.branch(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self);
+        self.jump(head);
+        self.switch_to(exit);
+    }
+
+    /// Build `if cond { then }`; insertion point ends at the join block.
+    pub fn if_then(&mut self, cond: Operand, then: impl FnOnce(&mut Self)) {
+        let then_bb = self.new_block();
+        let join = self.new_block();
+        self.branch(cond, then_bb, join);
+        self.switch_to(then_bb);
+        then(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+
+    /// Build `if cond { then } else { els }`; ends at the join block.
+    pub fn if_then_else(
+        &mut self,
+        cond: Operand,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        let join = self.new_block();
+        self.branch(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then(self);
+        self.jump(join);
+        self.switch_to(else_bb);
+        els(self);
+        self.jump(join);
+        self.switch_to(join);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Field;
+
+    #[test]
+    fn build_minimal_main() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let main = pb.declare("main", vec![], i64t);
+        pb.define(main, |fb| {
+            let v = fb.iconst(42);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let f = p.func(main);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].instrs.len(), 2);
+        assert!(f.blocks[0].terminator().is_some());
+    }
+
+    #[test]
+    fn count_loop_structure() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(10), |fb, _i| {
+                fb.iconst(1);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let func = p.func(f);
+        // entry + head + body + exit
+        assert_eq!(func.blocks.len(), 4);
+        // head has a branch with two successors
+        let head = func.block(BlockId(1));
+        assert_eq!(head.successors().len(), 2);
+        // body jumps back to head
+        let body = func.block(BlockId(2));
+        assert_eq!(body.successors(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn if_then_else_structure() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![i64t], i64t);
+        pb.define(f, |fb| {
+            let p0 = fb.param(0);
+            let c = fb.cmp(CmpOp::Gt, p0.into(), Operand::int(0));
+            let r = fb.fresh();
+            fb.if_then_else(
+                c.into(),
+                |fb| fb.assign(r, Operand::int(1)),
+                |fb| fb.assign(r, Operand::int(-1)),
+            );
+            fb.ret(Some(r.into()));
+        });
+        let p = pb.finish();
+        assert_eq!(p.func(f).blocks.len(), 4); // entry, then, else, join
+    }
+
+    #[test]
+    fn field_access_helpers() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let (rid, rty) = pb.record(
+            "pair",
+            vec![Field::new("a", i64t), Field::new("b", i64t)],
+        );
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            let p = fb.alloc(rty, Operand::int(4));
+            fb.store_field(p.into(), rid, 0, Operand::int(5));
+            let v = fb.load_field(p.into(), rid, 0);
+            fb.ret(Some(v.into()));
+        });
+        let prog = pb.finish();
+        let n_fa = prog
+            .instrs_of(f)
+            .filter(|(_, i)| matches!(i, Instr::FieldAddr { .. }))
+            .count();
+        assert_eq!(n_fa, 2);
+    }
+
+    #[test]
+    fn params_are_low_registers() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![i64t, i64t], i64t);
+        pb.define(f, |fb| {
+            assert_eq!(fb.param(0), Reg(0));
+            assert_eq!(fb.param(1), Reg(1));
+            let fresh = fb.fresh();
+            assert_eq!(fresh, Reg(2));
+            fb.ret(Some(fresh.into()));
+        });
+    }
+
+    #[test]
+    fn recursive_record_via_fwd() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let (rid, rty) = pb.record_fwd("list");
+        let pnode = pb.ptr(rty);
+        pb.complete_record(
+            rid,
+            vec![Field::new("v", i64t), Field::new("next", pnode)],
+        );
+        let p = pb.finish();
+        assert!(p.types.is_recursive(rid));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot define body")]
+    fn defining_external_panics() {
+        let mut pb = ProgramBuilder::new();
+        let void = pb.void();
+        let f = pb.external("ext", vec![], void);
+        pb.define(f, |_| {});
+    }
+
+    #[test]
+    fn while_loop_structure() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            let i = fb.fresh();
+            fb.assign(i, Operand::int(0));
+            fb.while_loop(
+                |fb| fb.cmp(CmpOp::Lt, i.into(), Operand::int(5)).into(),
+                |fb| {
+                    let n = fb.add(i.into(), Operand::int(1));
+                    fb.assign(i, n.into());
+                },
+            );
+            fb.ret(Some(i.into()));
+        });
+        let p = pb.finish();
+        assert_eq!(p.func(f).blocks.len(), 4);
+    }
+
+    #[test]
+    fn units_tag_functions() {
+        let mut pb = ProgramBuilder::new();
+        let void = pb.void();
+        let f1 = pb.declare("f1", vec![], void);
+        pb.unit("second.c");
+        let f2 = pb.declare("f2", vec![], void);
+        let p = pb.program();
+        assert_eq!(p.func(f1).unit, 0);
+        assert_eq!(p.func(f2).unit, 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Call graph construction with Tarjan SCCs (for recursion-aware
+//! inter-procedural count propagation, the paper's ISPBO scheme).
+
+use crate::instr::{BlockId, FuncId, Instr, InstrRef};
+use crate::module::Program;
+use std::collections::HashMap;
+
+/// A direct call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// The called function.
+    pub callee: FuncId,
+    /// Where the call instruction lives.
+    pub at: InstrRef,
+    /// Block containing the call (denormalized for convenience).
+    pub block: BlockId,
+}
+
+/// The program call graph over direct calls. Indirect calls contribute no
+/// edges (the FE invalidates types escaping to them instead).
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All direct call sites, grouped by caller.
+    pub sites: Vec<CallSite>,
+    callees: HashMap<FuncId, Vec<usize>>, // caller -> indices into sites
+    callers: HashMap<FuncId, Vec<usize>>, // callee -> indices into sites
+}
+
+impl CallGraph {
+    /// Build the call graph of `p`.
+    pub fn build(p: &Program) -> Self {
+        let mut cg = CallGraph::default();
+        for fid in p.func_ids() {
+            if !p.func(fid).is_defined() {
+                continue;
+            }
+            for (at, ins) in p.instrs_of(fid) {
+                if let Instr::Call { callee, .. } = ins {
+                    let idx = cg.sites.len();
+                    cg.sites.push(CallSite {
+                        caller: fid,
+                        callee: *callee,
+                        at,
+                        block: at.block,
+                    });
+                    cg.callees.entry(fid).or_default().push(idx);
+                    cg.callers.entry(*callee).or_default().push(idx);
+                }
+            }
+        }
+        cg
+    }
+
+    /// Call sites inside `f`.
+    pub fn calls_from(&self, f: FuncId) -> impl Iterator<Item = &CallSite> {
+        self.callees
+            .get(&f)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.sites[i])
+    }
+
+    /// Call sites targeting `f`.
+    pub fn calls_to(&self, f: FuncId) -> impl Iterator<Item = &CallSite> {
+        self.callers
+            .get(&f)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.sites[i])
+    }
+
+    /// Strongly connected components of the call graph over *defined*
+    /// functions, returned in reverse topological order (callees before
+    /// callers), as Tarjan emits them.
+    pub fn sccs(&self, p: &Program) -> Vec<Vec<FuncId>> {
+        let n = p.funcs.len();
+        let mut state = TarjanState {
+            index: vec![usize::MAX; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            sccs: Vec::new(),
+        };
+        for fid in p.func_ids() {
+            if p.func(fid).is_defined() && state.index[fid.index()] == usize::MAX {
+                self.strongconnect(p, fid, &mut state);
+            }
+        }
+        state.sccs
+    }
+
+    fn strongconnect(&self, p: &Program, v: FuncId, st: &mut TarjanState) {
+        st.index[v.index()] = st.next_index;
+        st.lowlink[v.index()] = st.next_index;
+        st.next_index += 1;
+        st.stack.push(v);
+        st.on_stack[v.index()] = true;
+
+        let callees: Vec<FuncId> = self
+            .calls_from(v)
+            .map(|s| s.callee)
+            .filter(|c| p.func(*c).is_defined())
+            .collect();
+        for w in callees {
+            if st.index[w.index()] == usize::MAX {
+                self.strongconnect(p, w, st);
+                st.lowlink[v.index()] = st.lowlink[v.index()].min(st.lowlink[w.index()]);
+            } else if st.on_stack[w.index()] {
+                st.lowlink[v.index()] = st.lowlink[v.index()].min(st.index[w.index()]);
+            }
+        }
+
+        if st.lowlink[v.index()] == st.index[v.index()] {
+            let mut scc = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("tarjan stack underflow");
+                st.on_stack[w.index()] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.sccs.push(scc);
+        }
+    }
+
+    /// Whether `f` participates in recursion (its SCC has >1 member or it
+    /// calls itself directly).
+    pub fn is_recursive(&self, p: &Program, f: FuncId) -> bool {
+        if self.calls_from(f).any(|s| s.callee == f) {
+            return true;
+        }
+        self.sccs(p)
+            .iter()
+            .any(|scc| scc.len() > 1 && scc.contains(&f))
+    }
+}
+
+struct TarjanState {
+    index: Vec<usize>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<FuncId>,
+    next_index: usize,
+    sccs: Vec<Vec<FuncId>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Operand;
+    use crate::types::ScalarKind;
+
+    fn chain_program() -> (Program, FuncId, FuncId, FuncId) {
+        // main -> a -> b
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let b = pb.declare("b", vec![], i64t);
+        let a = pb.declare("a", vec![], i64t);
+        let main = pb.declare("main", vec![], i64t);
+        pb.define(b, |fb| fb.ret(Some(Operand::int(1))));
+        pb.define(a, |fb| {
+            let v = fb.call(b, vec![]);
+            fb.ret(Some(v.into()));
+        });
+        pb.define(main, |fb| {
+            let v = fb.call(a, vec![]);
+            fb.ret(Some(v.into()));
+        });
+        (pb.finish(), main, a, b)
+    }
+
+    #[test]
+    fn edges_recorded() {
+        let (p, main, a, b) = chain_program();
+        let cg = CallGraph::build(&p);
+        assert_eq!(cg.sites.len(), 2);
+        assert_eq!(cg.calls_from(main).count(), 1);
+        assert_eq!(cg.calls_from(main).next().map(|s| s.callee), Some(a));
+        assert_eq!(cg.calls_to(b).count(), 1);
+        assert_eq!(cg.calls_to(main).count(), 0);
+    }
+
+    #[test]
+    fn sccs_reverse_topological() {
+        let (p, main, a, b) = chain_program();
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs(&p);
+        assert_eq!(sccs.len(), 3);
+        // callee-first
+        assert_eq!(sccs[0], vec![b]);
+        assert_eq!(sccs[1], vec![a]);
+        assert_eq!(sccs[2], vec![main]);
+    }
+
+    #[test]
+    fn mutual_recursion_one_scc() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        let g = pb.declare("g", vec![], i64t);
+        pb.define(f, |fb| {
+            let v = fb.call(g, vec![]);
+            fb.ret(Some(v.into()));
+        });
+        pb.define(g, |fb| {
+            let v = fb.call(f, vec![]);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let cg = CallGraph::build(&p);
+        let sccs = cg.sccs(&p);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 2);
+        assert!(cg.is_recursive(&p, f));
+        assert!(cg.is_recursive(&p, g));
+    }
+
+    #[test]
+    fn self_recursion() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![i64t], i64t);
+        pb.define(f, |fb| {
+            let v = fb.call(f, vec![fb.param(0).into()]);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let cg = CallGraph::build(&p);
+        assert!(cg.is_recursive(&p, f));
+    }
+
+    #[test]
+    fn external_callee_no_scc_entry() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let ext = pb.external("ext", vec![], i64t);
+        let main = pb.declare("main", vec![], i64t);
+        pb.define(main, |fb| {
+            let v = fb.call(ext, vec![]);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let cg = CallGraph::build(&p);
+        // edge exists, but the SCC list only covers defined funcs
+        assert_eq!(cg.calls_to(ext).count(), 1);
+        let sccs = cg.sccs(&p);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![main]);
+        assert!(!cg.is_recursive(&p, main));
+    }
+}

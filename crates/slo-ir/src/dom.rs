@@ -1,0 +1,230 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Used by loop recognition and by the verifier's reachability checks.
+
+use crate::instr::BlockId;
+use crate::module::Function;
+
+/// Dominator information for one function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`;
+    /// unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// Position of each block in `rpo` (usize::MAX if unreachable).
+    rpo_pos: Vec<usize>,
+}
+
+impl DomTree {
+    /// Compute dominators for `f`'s CFG.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let preds = f.predecessors();
+
+        // Post-order DFS from the entry.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Iterative DFS with explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        if n > 0 {
+            visited[0] = true;
+            stack.push((BlockId(0), 0));
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = f.block(b).successors();
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree {
+                idom,
+                rpo,
+                rpo_pos,
+            };
+        }
+        idom[0] = Some(BlockId(0));
+
+        let intersect = |idom: &[Option<BlockId>], rpo_pos: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_pos[x.index()] > rpo_pos[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_pos[y.index()] > rpo_pos[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo,
+            rpo_pos,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.index()]?;
+        if d == b {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()] != usize::MAX
+    }
+
+    /// Reverse postorder over reachable blocks.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{CmpOp, Operand};
+    use crate::types::ScalarKind;
+
+    fn diamond() -> (crate::module::Program, crate::instr::FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![i64t], i64t);
+        pb.define(f, |fb| {
+            let c = fb.cmp(CmpOp::Gt, fb.param(0).into(), Operand::int(0));
+            let r = fb.fresh();
+            fb.if_then_else(
+                c.into(),
+                |fb| fb.assign(r, Operand::int(1)),
+                |fb| fb.assign(r, Operand::int(2)),
+            );
+            fb.ret(Some(r.into()));
+        });
+        (pb.finish(), f)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (p, f) = diamond();
+        let dt = DomTree::compute(p.func(f));
+        // blocks: 0 entry, 1 then, 2 else, 3 join
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(dt.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(10), |fb, _| {
+                fb.iconst(0);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let dt = DomTree::compute(p.func(f));
+        // 0 entry -> 1 head -> {2 body, 3 exit}; body -> head
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dt.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_block() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.ret(Some(Operand::int(0)));
+            let dead = fb.new_block();
+            fb.switch_to(dead);
+            fb.ret(Some(Operand::int(1)));
+        });
+        let p = pb.finish();
+        let dt = DomTree::compute(p.func(f));
+        assert!(dt.is_reachable(BlockId(0)));
+        assert!(!dt.is_reachable(BlockId(1)));
+        assert!(!dt.dominates(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (p, f) = diamond();
+        let dt = DomTree::compute(p.func(f));
+        assert_eq!(dt.rpo()[0], BlockId(0));
+        assert_eq!(dt.rpo().len(), 4);
+    }
+}

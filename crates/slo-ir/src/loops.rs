@@ -1,0 +1,547 @@
+//! Loop structure graph via Havlak's algorithm.
+//!
+//! The paper's FE profitability analysis builds affinity groups at loop
+//! granularity using "the loop optimizer's loop recognition, which is based
+//! on \[Havlak 97\]". This module implements Havlak's nesting algorithm for
+//! reducible *and* irreducible loops, producing a loop forest with nesting
+//! depths used both for affinity grouping and for the static frequency
+//! estimator.
+
+use crate::dom::DomTree;
+use crate::instr::BlockId;
+use crate::module::Function;
+use std::collections::HashSet;
+
+/// Handle to a loop within a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// One natural (or irreducible) loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header block.
+    pub header: BlockId,
+    /// All blocks belonging to this loop, including the header and the
+    /// blocks of nested loops.
+    pub blocks: Vec<BlockId>,
+    /// The enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth: outermost loops have depth 1.
+    pub depth: u32,
+    /// Whether the loop is reducible (single-entry).
+    pub reducible: bool,
+}
+
+/// The loop nesting forest of one function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    innermost: Vec<Option<LoopId>>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum BbKind {
+    Top,
+    NonHeader,
+    Reducible,
+    Irreducible,
+    Dead,
+}
+
+/// Union-find over DFS numbers.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, child: usize, parent: usize) {
+        let rc = self.find(child);
+        let rp = self.find(parent);
+        if rc != rp {
+            self.parent[rc] = rp;
+        }
+    }
+}
+
+impl LoopForest {
+    /// Compute the loop forest of `f` using Havlak's algorithm.
+    pub fn compute(f: &Function) -> Self {
+        let nblocks = f.blocks.len();
+        if nblocks == 0 {
+            return LoopForest::default();
+        }
+
+        // --- DFS: preorder numbering + last-descendant numbers -----------
+        let mut number = vec![usize::MAX; nblocks]; // block index -> dfs num
+        let mut nodes: Vec<BlockId> = Vec::new(); // dfs num -> block
+        let mut last: Vec<usize> = Vec::new(); // dfs num -> max dfs num in subtree
+        {
+            // iterative DFS preorder
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            number[0] = 0;
+            nodes.push(BlockId(0));
+            last.push(0);
+            let mut order_stack: Vec<usize> = vec![0]; // dfs nums on the path
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                let succs = f.block(b).successors();
+                if *i < succs.len() {
+                    let s = succs[*i];
+                    *i += 1;
+                    if number[s.index()] == usize::MAX {
+                        let num = nodes.len();
+                        number[s.index()] = num;
+                        nodes.push(s);
+                        last.push(num);
+                        stack.push((s, 0));
+                        order_stack.push(num);
+                    }
+                } else {
+                    let num = order_stack.pop().expect("dfs stack imbalance");
+                    // propagate subtree max to parent
+                    if let Some(&parent) = order_stack.last() {
+                        last[parent] = last[parent].max(last[num]);
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        let n = nodes.len(); // reachable blocks only
+        let is_ancestor =
+            |w: usize, v: usize, last: &[usize]| -> bool { w <= v && v <= last[w] };
+
+        // --- classify edges ----------------------------------------------
+        let preds_all = f.predecessors();
+        let mut back_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut non_back_preds: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        for w in 0..n {
+            let wb = nodes[w];
+            for &pb in &preds_all[wb.index()] {
+                if number[pb.index()] == usize::MAX {
+                    continue; // unreachable predecessor
+                }
+                let v = number[pb.index()];
+                if is_ancestor(w, v, &last) {
+                    back_preds[w].push(v);
+                } else {
+                    non_back_preds[w].insert(v);
+                }
+            }
+        }
+
+        // --- Havlak main loop --------------------------------------------
+        let mut kind = vec![BbKind::NonHeader; n];
+        kind[0] = BbKind::Top;
+        let mut uf = UnionFind::new(n);
+        let mut header_of: Vec<usize> = vec![0; n]; // dfs num of innermost header
+        // loop_body[w] collected when w is a header
+        let mut loop_body: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        for w in (0..n).rev() {
+            let mut node_pool: Vec<usize> = Vec::new();
+            for &v in &back_preds[w] {
+                if v != w {
+                    node_pool.push(uf.find(v));
+                } else {
+                    kind[w] = BbKind::Reducible; // self loop
+                }
+            }
+            let mut work_list = node_pool.clone();
+            if !node_pool.is_empty() {
+                kind[w] = BbKind::Reducible;
+            }
+            let mut idx = 0;
+            while idx < work_list.len() {
+                let x = work_list[idx];
+                idx += 1;
+                let nbp: Vec<usize> = non_back_preds[x].iter().copied().collect();
+                for y in nbp {
+                    let ydash = uf.find(y);
+                    if !is_ancestor(w, ydash, &last) {
+                        // irreducible entry
+                        kind[w] = BbKind::Irreducible;
+                        non_back_preds[w].insert(ydash);
+                    } else if ydash != w && !node_pool.contains(&ydash) {
+                        node_pool.push(ydash);
+                        work_list.push(ydash);
+                    }
+                }
+            }
+            if kind[w] == BbKind::Reducible || kind[w] == BbKind::Irreducible {
+                for &x in &node_pool {
+                    header_of[x] = w;
+                    loop_body[w].push(x);
+                    uf.union(x, w);
+                }
+            }
+            let _ = BbKind::Dead; // kinds Top/Dead exist for fidelity with Havlak's paper
+        }
+
+        // --- build the forest ---------------------------------------------
+        // Create a Loop for every header (dfs order ⇒ outer loops first when
+        // iterating ascending, since headers of outer loops have smaller or
+        // unrelated dfs numbers — we instead assign parents via header_of
+        // chains).
+        let mut loop_id_of_header: Vec<Option<LoopId>> = vec![None; n];
+        let mut loops: Vec<Loop> = Vec::new();
+        for w in 0..n {
+            if kind[w] == BbKind::Reducible || kind[w] == BbKind::Irreducible {
+                let id = LoopId(loops.len() as u32);
+                loop_id_of_header[w] = Some(id);
+                loops.push(Loop {
+                    header: nodes[w],
+                    blocks: vec![nodes[w]],
+                    parent: None,
+                    depth: 0,
+                    reducible: kind[w] == BbKind::Reducible,
+                });
+            }
+        }
+
+        // innermost loop per dfs node: a header's innermost loop is its own;
+        // others use header_of (which points at the innermost header after
+        // the union-find collapsing), defaulting to none for top-level code.
+        let mut innermost_dfs: Vec<Option<LoopId>> = vec![None; n];
+        for w in 0..n {
+            if let Some(id) = loop_id_of_header[w] {
+                innermost_dfs[w] = Some(id);
+            } else if header_of[w] != 0 || kind[0] != BbKind::NonHeader {
+                // header_of[w] == 0 either means "no loop" or "loop with
+                // header at dfs 0"; disambiguate by whether dfs 0 is a header
+                // and w is in its body.
+                if loop_id_of_header[header_of[w]].is_some()
+                    && loop_body[header_of[w]].contains(&w)
+                {
+                    innermost_dfs[w] = loop_id_of_header[header_of[w]];
+                }
+            }
+        }
+
+        // parent of a loop: innermost loop of its header's header.
+        for w in 0..n {
+            if let Some(id) = loop_id_of_header[w] {
+                let h = header_of[w];
+                if loop_id_of_header[h].is_some() && loop_body[h].contains(&w) {
+                    loops[id.0 as usize].parent = loop_id_of_header[h];
+                }
+            }
+        }
+
+        // membership: walk each block's innermost chain and add to all
+        // enclosing loops.
+        for w in 0..n {
+            let mut cur = innermost_dfs[w];
+            while let Some(id) = cur {
+                let lp = &mut loops[id.0 as usize];
+                if (lp.header != nodes[w] || innermost_dfs[w] == Some(id))
+                    && !lp.blocks.contains(&nodes[w]) {
+                        lp.blocks.push(nodes[w]);
+                    }
+                cur = loops[id.0 as usize].parent;
+            }
+        }
+
+        // depths
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.0 as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        let mut innermost = vec![None; nblocks];
+        for w in 0..n {
+            innermost[nodes[w].index()] = innermost_dfs[w];
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether there are no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Get a loop by id.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.0 as usize]
+    }
+
+    /// Iterate over `(LoopId, &Loop)`.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId(i as u32), l))
+    }
+
+    /// Innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost.get(b.index()).copied().flatten()
+    }
+
+    /// Nesting depth of block `b` (0 = not in a loop).
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.innermost(b).map(|l| self.get(l).depth).unwrap_or(0)
+    }
+
+    /// The back edges `(tail, header)` of a loop: predecessors of the
+    /// header that are inside the loop.
+    pub fn back_edges(&self, f: &Function, id: LoopId) -> Vec<(BlockId, BlockId)> {
+        let lp = self.get(id);
+        let preds = f.predecessors();
+        preds[lp.header.index()]
+            .iter()
+            .filter(|p| lp.blocks.contains(p))
+            .map(|&p| (p, lp.header))
+            .collect()
+    }
+
+    /// The entry edges `(outside, header)` of a loop.
+    pub fn entry_edges(&self, f: &Function, id: LoopId) -> Vec<(BlockId, BlockId)> {
+        let lp = self.get(id);
+        let preds = f.predecessors();
+        preds[lp.header.index()]
+            .iter()
+            .filter(|p| !lp.blocks.contains(p))
+            .map(|&p| (p, lp.header))
+            .collect()
+    }
+
+    /// Compute with a dominator tree cross-check (debug aid): for reducible
+    /// loops, the header must dominate every block of the loop.
+    pub fn verify_against(&self, _f: &Function, dt: &DomTree) -> bool {
+        self.loops.iter().all(|l| {
+            !l.reducible
+                || l.blocks
+                    .iter()
+                    .all(|&b| dt.dominates(l.header, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{FuncId, Operand};
+    use crate::module::Program;
+    use crate::types::ScalarKind;
+
+    fn single_loop() -> (Program, FuncId) {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(10), |fb, _| {
+                fb.iconst(1);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        (pb.finish(), f)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| fb.ret(Some(Operand::int(0))));
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.func(f));
+        assert!(lf.is_empty());
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn single_loop_recognized() {
+        let (p, f) = single_loop();
+        let lf = LoopForest::compute(p.func(f));
+        assert_eq!(lf.len(), 1);
+        let (_, lp) = lf.iter().next().expect("one loop");
+        // header is bb1 (loop head), body contains bb2
+        assert_eq!(lp.header, BlockId(1));
+        assert!(lp.blocks.contains(&BlockId(2)));
+        assert!(lp.reducible);
+        assert_eq!(lp.depth, 1);
+        assert_eq!(lf.depth_of(BlockId(2)), 1);
+        assert_eq!(lf.depth_of(BlockId(0)), 0);
+        assert_eq!(lf.depth_of(BlockId(3)), 0); // exit
+    }
+
+    #[test]
+    fn nested_loops() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(10), |fb, _| {
+                fb.count_loop(Operand::int(5), |fb, _| {
+                    fb.iconst(1);
+                });
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let func = p.func(f);
+        let lf = LoopForest::compute(func);
+        assert_eq!(lf.len(), 2);
+        let depths: Vec<u32> = lf.iter().map(|(_, l)| l.depth).collect();
+        assert!(depths.contains(&1));
+        assert!(depths.contains(&2));
+        // the depth-2 loop's parent is the depth-1 loop
+        let inner = lf.iter().find(|(_, l)| l.depth == 2).expect("inner").0;
+        let outer = lf.iter().find(|(_, l)| l.depth == 1).expect("outer").0;
+        assert_eq!(lf.get(inner).parent, Some(outer));
+        // outer loop contains all inner blocks
+        for &b in &lf.get(inner).blocks {
+            assert!(lf.get(outer).blocks.contains(&b));
+        }
+        let dt = DomTree::compute(func);
+        assert!(lf.verify_against(func, &dt));
+    }
+
+    #[test]
+    fn triple_nesting_depths() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(4), |fb, _| {
+                fb.count_loop(Operand::int(4), |fb, _| {
+                    fb.count_loop(Operand::int(4), |fb, _| {
+                        fb.iconst(1);
+                    });
+                });
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.func(f));
+        assert_eq!(lf.len(), 3);
+        let mut depths: Vec<u32> = lf.iter().map(|(_, l)| l.depth).collect();
+        depths.sort_unstable();
+        assert_eq!(depths, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sequential_loops_are_siblings() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(10), |fb, _| {
+                fb.iconst(1);
+            });
+            fb.count_loop(Operand::int(10), |fb, _| {
+                fb.iconst(2);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.func(f));
+        assert_eq!(lf.len(), 2);
+        for (_, l) in lf.iter() {
+            assert_eq!(l.depth, 1);
+            assert!(l.parent.is_none());
+        }
+    }
+
+    #[test]
+    fn back_and_entry_edges() {
+        let (p, f) = single_loop();
+        let func = p.func(f);
+        let lf = LoopForest::compute(func);
+        let (id, lp) = lf.iter().next().expect("loop");
+        let be = lf.back_edges(func, id);
+        assert_eq!(be.len(), 1);
+        assert_eq!(be[0].1, lp.header);
+        let ee = lf.entry_edges(func, id);
+        assert_eq!(ee.len(), 1);
+        assert_eq!(ee[0].0, BlockId(0));
+    }
+
+    #[test]
+    fn self_loop() {
+        use crate::instr::{CmpOp, Instr};
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            let body = fb.new_block();
+            let exit = fb.new_block();
+            fb.jump(body);
+            fb.switch_to(body);
+            let c = fb.cmp(CmpOp::Lt, Operand::int(0), Operand::int(1));
+            fb.push(Instr::Branch {
+                cond: c.into(),
+                then_bb: body,
+                else_bb: exit,
+            });
+            fb.switch_to(exit);
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.func(f));
+        assert_eq!(lf.len(), 1);
+        let (_, l) = lf.iter().next().expect("loop");
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.reducible);
+    }
+
+    #[test]
+    fn irreducible_loop_detected() {
+        use crate::instr::Instr;
+        // CFG: 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1, 1 -> 3 (two-entry cycle 1<->2)
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![i64t], i64t);
+        pb.define(f, |fb| {
+            let b1 = fb.new_block();
+            let b2 = fb.new_block();
+            let b3 = fb.new_block();
+            fb.branch(fb.param(0).into(), b1, b2);
+            fb.switch_to(b1);
+            fb.push(Instr::Branch {
+                cond: fb.param(0).into(),
+                then_bb: b2,
+                else_bb: b3,
+            });
+            fb.switch_to(b2);
+            fb.jump(b1);
+            fb.switch_to(b3);
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let lf = LoopForest::compute(p.func(f));
+        assert!(lf.iter().any(|(_, l)| !l.reducible));
+    }
+}

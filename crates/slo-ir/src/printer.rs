@@ -1,0 +1,251 @@
+//! Textual IR printing. The output is parseable by [`crate::parser`] —
+//! `parse(print(p))` round-trips every construct.
+
+use crate::instr::Instr;
+use crate::module::{FuncKind, Program};
+use crate::types::TypeId;
+use std::fmt::Write as _;
+
+/// Render a whole program in the textual IR syntax.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+
+    for rid in p.types.record_ids() {
+        let rec = p.types.record(rid);
+        let fields: Vec<String> = rec
+            .fields
+            .iter()
+            .map(|f| match f.bit_width {
+                Some(w) => format!("{}: {}:{}", f.name, p.types.display(f.ty), w),
+                None => format!("{}: {}", f.name, p.types.display(f.ty)),
+            })
+            .collect();
+        let _ = writeln!(out, "record {} {{ {} }}", rec.name, fields.join(", "));
+    }
+    if p.types.num_records() > 0 {
+        out.push('\n');
+    }
+
+    for gid in p.global_ids() {
+        let g = p.global(gid);
+        let _ = writeln!(out, "global {}: {}", g.name, p.types.display(g.ty));
+    }
+    if !p.globals.is_empty() {
+        out.push('\n');
+    }
+
+    for fid in p.func_ids() {
+        let f = p.func(fid);
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(_, t)| p.types.display(*t))
+            .collect();
+        let sig = format!(
+            "func {}({}) -> {}",
+            f.name,
+            params.join(", "),
+            p.types.display(f.ret)
+        );
+        match f.kind {
+            FuncKind::External => {
+                let _ = writeln!(out, "extern {sig}");
+                continue;
+            }
+            FuncKind::Libc => {
+                let _ = writeln!(out, "libc {sig}");
+                continue;
+            }
+            FuncKind::Defined => {}
+        }
+        let _ = writeln!(out, "{sig} {{");
+        for bid in f.block_ids() {
+            let _ = writeln!(out, "{bid}:");
+            for ins in &f.block(bid).instrs {
+                let _ = writeln!(out, "  {}", print_instr(p, ins));
+            }
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+
+    out
+}
+
+fn ty(p: &Program, t: TypeId) -> String {
+    p.types.display(t)
+}
+
+/// Render a single instruction.
+pub fn print_instr(p: &Program, ins: &Instr) -> String {
+    match ins {
+        Instr::Assign { dst, src } => format!("{dst} = {src}"),
+        Instr::Bin { dst, op, lhs, rhs } => format!("{dst} = {} {lhs}, {rhs}", op.name()),
+        Instr::Cmp { dst, op, lhs, rhs } => {
+            format!("{dst} = cmp.{} {lhs}, {rhs}", op.name())
+        }
+        Instr::Cast { dst, src, from, to } => {
+            format!("{dst} = cast {src} : {} -> {}", ty(p, *from), ty(p, *to))
+        }
+        Instr::FieldAddr {
+            dst,
+            base,
+            record,
+            field,
+        } => {
+            let rec = p.types.record(*record);
+            format!(
+                "{dst} = fieldaddr {base}, {}.{}",
+                rec.name, rec.fields[*field as usize].name
+            )
+        }
+        Instr::IndexAddr {
+            dst,
+            base,
+            elem,
+            index,
+        } => format!("{dst} = indexaddr {base}, {}, {index}", ty(p, *elem)),
+        Instr::Load { dst, addr, ty: t } => format!("{dst} = load {addr} : {}", ty(p, *t)),
+        Instr::Store { addr, value, ty: t } => {
+            format!("store {value}, {addr} : {}", ty(p, *t))
+        }
+        Instr::LoadGlobal { dst, global } => {
+            format!("{dst} = gload {}", p.global(*global).name)
+        }
+        Instr::StoreGlobal { global, value } => {
+            format!("gstore {value}, {}", p.global(*global).name)
+        }
+        Instr::AddrOfGlobal { dst, global } => {
+            format!("{dst} = gaddr {}", p.global(*global).name)
+        }
+        Instr::Alloc {
+            dst,
+            elem,
+            count,
+            zeroed,
+        } => {
+            let op = if *zeroed { "zalloc" } else { "alloc" };
+            format!("{dst} = {op} {}, {count}", ty(p, *elem))
+        }
+        Instr::Free { ptr } => format!("free {ptr}"),
+        Instr::Realloc {
+            dst,
+            ptr,
+            elem,
+            count,
+        } => format!("{dst} = realloc {ptr}, {}, {count}", ty(p, *elem)),
+        Instr::Memcpy { dst, src, bytes } => format!("memcpy {dst}, {src}, {bytes}"),
+        Instr::Memset { dst, val, bytes } => format!("memset {dst}, {val}, {bytes}"),
+        Instr::Call { dst, callee, args } => {
+            let a: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            let call = format!("call {}({})", p.func(*callee).name, a.join(", "));
+            match dst {
+                Some(d) => format!("{d} = {call}"),
+                None => call,
+            }
+        }
+        Instr::CallIndirect {
+            dst,
+            target,
+            args,
+            arg_types,
+        } => {
+            let a: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            let ts: Vec<String> = arg_types.iter().map(|t| ty(p, *t)).collect();
+            let call = format!("icall {target}({}) : ({})", a.join(", "), ts.join(", "));
+            match dst {
+                Some(d) => format!("{d} = {call}"),
+                None => call,
+            }
+        }
+        Instr::FuncAddr { dst, func } => format!("{dst} = fnaddr {}", p.func(*func).name),
+        Instr::Jump { target } => format!("jump {target}"),
+        Instr::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {cond}, {then_bb}, {else_bb}"),
+        Instr::Return { value } => match value {
+            Some(v) => format!("ret {v}"),
+            None => "ret".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Operand;
+    use crate::types::{Field, ScalarKind};
+
+    #[test]
+    fn prints_records_and_globals() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let u32t = pb.scalar(ScalarKind::U32);
+        let (_, rty) = pb.record(
+            "node",
+            vec![
+                Field::new("v", i64t),
+                Field::bitfield("flags", u32t, 3),
+            ],
+        );
+        let pnode = pb.ptr(rty);
+        pb.global("P", pnode);
+        let p = pb.finish();
+        let s = print_program(&p);
+        assert!(s.contains("record node { v: i64, flags: u32:3 }"));
+        assert!(s.contains("global P: ptr<node>"));
+    }
+
+    #[test]
+    fn prints_function_body() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let (rid, rty) = pb.record("pair", vec![Field::new("a", i64t)]);
+        let f = pb.declare("main", vec![], i64t);
+        pb.define(f, |fb| {
+            let x = fb.alloc(rty, Operand::int(8));
+            let a = fb.field_addr(x.into(), rid, 0);
+            let v = fb.load(a.into(), i64t);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let s = print_program(&p);
+        assert!(s.contains("func main() -> i64 {"));
+        assert!(s.contains("r0 = alloc pair, 8"));
+        assert!(s.contains("r1 = fieldaddr r0, pair.a"));
+        assert!(s.contains("r2 = load r1 : i64"));
+        assert!(s.contains("ret r2"));
+    }
+
+    #[test]
+    fn prints_extern_and_libc() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let void = pb.void();
+        pb.external("mystery", vec![i64t], void);
+        pb.libc("fwrite", vec![i64t], i64t);
+        let p = pb.finish();
+        let s = print_program(&p);
+        assert!(s.contains("extern func mystery(i64) -> void"));
+        assert!(s.contains("libc func fwrite(i64) -> i64"));
+    }
+
+    #[test]
+    fn prints_control_flow() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(2), |fb, _| {
+                fb.iconst(0);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let s = print_program(&p);
+        assert!(s.contains("jump bb1"));
+        assert!(s.contains("br r1, bb2, bb3"));
+    }
+}

@@ -1,0 +1,740 @@
+//! Type system: scalars, pointers, records (structs), arrays, and the
+//! [`TypeTable`] that interns them.
+//!
+//! Record layout follows C-like rules: each field is aligned to its natural
+//! alignment, the record size is rounded up to the maximum field alignment.
+//! Bit-fields are modeled as metadata on a field (`bit_width`); storage-wise
+//! they occupy their declared scalar type. This is a simplification relative
+//! to C storage-unit packing, documented in `DESIGN.md`; it only affects the
+//! absolute sizes of bit-field-heavy records, not the analyses, which treat
+//! bit-fields purely as a heuristic constraint (never remove / reorder them
+//! across alignment boundaries).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Primitive scalar kinds supported by the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarKind {
+    /// Signed 8-bit integer.
+    I8,
+    /// Signed 16-bit integer.
+    I16,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl ScalarKind {
+    /// Size of the scalar in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            ScalarKind::I8 | ScalarKind::U8 => 1,
+            ScalarKind::I16 | ScalarKind::U16 => 2,
+            ScalarKind::I32 | ScalarKind::U32 | ScalarKind::F32 => 4,
+            ScalarKind::I64 | ScalarKind::U64 | ScalarKind::F64 => 8,
+        }
+    }
+
+    /// Natural alignment in bytes (equals size for all supported scalars).
+    pub fn align(self) -> u64 {
+        self.size()
+    }
+
+    /// Whether this is a floating-point kind.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarKind::F32 | ScalarKind::F64)
+    }
+
+    /// Whether this is a signed integer kind.
+    pub fn is_signed(self) -> bool {
+        matches!(
+            self,
+            ScalarKind::I8 | ScalarKind::I16 | ScalarKind::I32 | ScalarKind::I64
+        )
+    }
+
+    /// The textual name used by the IR parser/printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarKind::I8 => "i8",
+            ScalarKind::I16 => "i16",
+            ScalarKind::I32 => "i32",
+            ScalarKind::I64 => "i64",
+            ScalarKind::U8 => "u8",
+            ScalarKind::U16 => "u16",
+            ScalarKind::U32 => "u32",
+            ScalarKind::U64 => "u64",
+            ScalarKind::F32 => "f32",
+            ScalarKind::F64 => "f64",
+        }
+    }
+
+    /// Parse a scalar kind from its textual name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "i8" => ScalarKind::I8,
+            "i16" => ScalarKind::I16,
+            "i32" => ScalarKind::I32,
+            "i64" => ScalarKind::I64,
+            "u8" => ScalarKind::U8,
+            "u16" => ScalarKind::U16,
+            "u32" => ScalarKind::U32,
+            "u64" => ScalarKind::U64,
+            "f32" => ScalarKind::F32,
+            "f64" => ScalarKind::F64,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ScalarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Handle to an interned [`Type`] in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Handle to a [`RecordType`] in a [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u32);
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rec{}", self.0)
+    }
+}
+
+/// The structural shape of a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The unit/void type (function returns only).
+    Void,
+    /// A primitive scalar.
+    Scalar(ScalarKind),
+    /// A typed pointer to another type.
+    Ptr(TypeId),
+    /// A record (struct) type.
+    Record(RecordId),
+    /// A fixed-length inline array.
+    Array(TypeId, u64),
+    /// A function pointer; only identity matters for the analyses.
+    FuncPtr,
+}
+
+/// One field of a record type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Source-level field name.
+    pub name: String,
+    /// Field type.
+    pub ty: TypeId,
+    /// `Some(width)` if this is a bit-field of `width` bits.
+    pub bit_width: Option<u8>,
+}
+
+impl Field {
+    /// Create a plain (non-bit-field) field.
+    pub fn new(name: impl Into<String>, ty: TypeId) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            bit_width: None,
+        }
+    }
+
+    /// Create a bit-field.
+    pub fn bitfield(name: impl Into<String>, ty: TypeId, width: u8) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+            bit_width: Some(width),
+        }
+    }
+}
+
+/// A record (struct) type: a named, ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordType {
+    /// Source-level type name; unique within a [`TypeTable`].
+    pub name: String,
+    /// Ordered fields.
+    pub fields: Vec<Field>,
+}
+
+impl RecordType {
+    /// Index of the field named `name`, if present.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+/// Computed memory layout for a record type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Total size in bytes, including tail padding.
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+    /// Byte offset of each field, parallel to `RecordType::fields`.
+    pub offsets: Vec<u64>,
+}
+
+/// Interning table for all types of a program.
+///
+/// All IR entities reference types through [`TypeId`]; structural types
+/// (scalars, pointers, arrays) are deduplicated, records are nominal.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    types: Vec<Type>,
+    records: Vec<RecordType>,
+    interned: HashMap<Type, TypeId>,
+    record_by_name: HashMap<String, RecordId>,
+}
+
+impl TypeTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a structural type, returning its id.
+    pub fn intern(&mut self, ty: Type) -> TypeId {
+        if let Some(&id) = self.interned.get(&ty) {
+            return id;
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.interned.insert(ty.clone(), id);
+        self.types.push(ty);
+        id
+    }
+
+    /// Shorthand: intern the void type.
+    pub fn void(&mut self) -> TypeId {
+        self.intern(Type::Void)
+    }
+
+    /// Shorthand: intern a scalar type.
+    pub fn scalar(&mut self, k: ScalarKind) -> TypeId {
+        self.intern(Type::Scalar(k))
+    }
+
+    /// Shorthand: intern a pointer to `to`.
+    pub fn ptr(&mut self, to: TypeId) -> TypeId {
+        self.intern(Type::Ptr(to))
+    }
+
+    /// Shorthand: intern an array type.
+    pub fn array(&mut self, elem: TypeId, len: u64) -> TypeId {
+        self.intern(Type::Array(elem, len))
+    }
+
+    /// Shorthand: intern the opaque function-pointer type.
+    pub fn func_ptr(&mut self) -> TypeId {
+        self.intern(Type::FuncPtr)
+    }
+
+    /// Declare a new record type. Returns both the record id and the
+    /// interned `Type::Record` id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a record with the same name already exists.
+    pub fn add_record(&mut self, rec: RecordType) -> (RecordId, TypeId) {
+        assert!(
+            !self.record_by_name.contains_key(&rec.name),
+            "duplicate record type name `{}`",
+            rec.name
+        );
+        let rid = RecordId(self.records.len() as u32);
+        self.record_by_name.insert(rec.name.clone(), rid);
+        self.records.push(rec);
+        let tid = self.intern(Type::Record(rid));
+        (rid, tid)
+    }
+
+    /// Replace the definition of an existing record (used by the BE when a
+    /// transformation rewrites a type's field list in place).
+    pub fn replace_record(&mut self, rid: RecordId, rec: RecordType) {
+        let old_name = self.records[rid.0 as usize].name.clone();
+        if old_name != rec.name {
+            self.record_by_name.remove(&old_name);
+            self.record_by_name.insert(rec.name.clone(), rid);
+        }
+        self.records[rid.0 as usize] = rec;
+    }
+
+    /// Look up a type by id.
+    pub fn get(&self, id: TypeId) -> &Type {
+        &self.types[id.0 as usize]
+    }
+
+    /// Look up a record by id.
+    pub fn record(&self, id: RecordId) -> &RecordType {
+        &self.records[id.0 as usize]
+    }
+
+    /// Look up a record by name.
+    pub fn record_by_name(&self, name: &str) -> Option<RecordId> {
+        self.record_by_name.get(name).copied()
+    }
+
+    /// The interned `TypeId` for `Type::Record(rid)` if it exists.
+    pub fn record_type_id(&self, rid: RecordId) -> Option<TypeId> {
+        self.interned.get(&Type::Record(rid)).copied()
+    }
+
+    /// Number of record types.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of interned types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterate over all record ids.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> {
+        (0..self.records.len() as u32).map(RecordId)
+    }
+
+    /// Size of a type in bytes. Pointers are 8 bytes (64-bit target).
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        match self.get(id) {
+            Type::Void => 0,
+            Type::Scalar(k) => k.size(),
+            Type::Ptr(_) | Type::FuncPtr => 8,
+            Type::Record(r) => self.layout_of(*r).size,
+            Type::Array(elem, n) => self.size_of(*elem) * n,
+        }
+    }
+
+    /// Alignment of a type in bytes.
+    pub fn align_of(&self, id: TypeId) -> u64 {
+        match self.get(id) {
+            Type::Void => 1,
+            Type::Scalar(k) => k.align(),
+            Type::Ptr(_) | Type::FuncPtr => 8,
+            Type::Record(r) => self.layout_of(*r).align,
+            Type::Array(elem, _) => self.align_of(*elem),
+        }
+    }
+
+    /// Compute the C-like layout of a record.
+    ///
+    /// Fields are placed in declaration order at their natural alignment;
+    /// total size is rounded up to the record alignment. An empty record
+    /// has size 0 and alignment 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use slo_ir::{Field, RecordType, ScalarKind, TypeTable};
+    ///
+    /// let mut t = TypeTable::new();
+    /// let i32t = t.scalar(ScalarKind::I32);
+    /// let i64t = t.scalar(ScalarKind::I64);
+    /// let (rid, _) = t.add_record(RecordType {
+    ///     name: "s".into(),
+    ///     fields: vec![Field::new("a", i32t), Field::new("b", i64t)],
+    /// });
+    /// let layout = t.layout_of(rid);
+    /// assert_eq!(layout.offsets, vec![0, 8]); // `b` aligned to 8
+    /// assert_eq!(layout.size, 16);
+    /// ```
+    pub fn layout_of(&self, rid: RecordId) -> RecordLayout {
+        let rec = self.record(rid);
+        let mut offset = 0u64;
+        let mut align = 1u64;
+        let mut offsets = Vec::with_capacity(rec.fields.len());
+        for f in &rec.fields {
+            let fa = self.align_of(f.ty);
+            let fs = self.size_of(f.ty);
+            align = align.max(fa);
+            offset = round_up(offset, fa);
+            offsets.push(offset);
+            offset += fs;
+        }
+        let size = round_up(offset, align);
+        RecordLayout {
+            size,
+            align,
+            offsets,
+        }
+    }
+
+    /// Whether `id` is (or transitively contains) the record `rid`.
+    /// Used to detect recursive types *by value* (not through pointers).
+    pub fn contains_record(&self, id: TypeId, rid: RecordId) -> bool {
+        match self.get(id) {
+            Type::Record(r) => {
+                if *r == rid {
+                    return true;
+                }
+                let rec = self.record(*r);
+                rec.fields.iter().any(|f| self.contains_record(f.ty, rid))
+            }
+            Type::Array(elem, _) => self.contains_record(*elem, rid),
+            _ => false,
+        }
+    }
+
+    /// Whether record `rid` has a pointer field that points (possibly through
+    /// arrays) back at `rid` itself — i.e. the type is *recursive* in the
+    /// linked-data-structure sense (lists, trees).
+    pub fn is_recursive(&self, rid: RecordId) -> bool {
+        self.record(rid)
+            .fields
+            .iter()
+            .any(|f| self.points_to_record(f.ty, rid))
+    }
+
+    fn points_to_record(&self, id: TypeId, rid: RecordId) -> bool {
+        match self.get(id) {
+            Type::Ptr(inner) => match self.get(*inner) {
+                Type::Record(r) => *r == rid,
+                _ => self.points_to_record(*inner, rid),
+            },
+            Type::Array(elem, _) => self.points_to_record(*elem, rid),
+            _ => false,
+        }
+    }
+
+    /// Record ids that appear *by value* inside another record or array —
+    /// the paper's NEST condition.
+    pub fn nested_records(&self) -> Vec<RecordId> {
+        let mut nested = vec![false; self.records.len()];
+        for rid in self.record_ids() {
+            for f in &self.record(rid).fields {
+                self.collect_value_records(f.ty, &mut nested);
+            }
+        }
+        nested
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| n.then_some(RecordId(i as u32)))
+            .collect()
+    }
+
+    fn collect_value_records(&self, id: TypeId, out: &mut [bool]) {
+        match self.get(id) {
+            Type::Record(r) => {
+                out[r.0 as usize] = true;
+                for f in &self.record(*r).fields.clone() {
+                    self.collect_value_records(f.ty, out);
+                }
+            }
+            Type::Array(elem, _) => self.collect_value_records(*elem, out),
+            _ => {}
+        }
+    }
+
+    /// Pretty-print a type.
+    pub fn display(&self, id: TypeId) -> String {
+        match self.get(id) {
+            Type::Void => "void".to_string(),
+            Type::Scalar(k) => k.name().to_string(),
+            Type::Ptr(inner) => format!("ptr<{}>", self.display(*inner)),
+            Type::Record(r) => self.record(*r).name.clone(),
+            Type::Array(elem, n) => format!("[{}; {}]", self.display(*elem), n),
+            Type::FuncPtr => "fnptr".to_string(),
+        }
+    }
+
+    /// Whether the type is a pointer (data or function).
+    pub fn is_ptr(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Ptr(_) | Type::FuncPtr)
+    }
+
+    /// If `id` is `ptr<record>`, the record id.
+    pub fn pointee_record(&self, id: TypeId) -> Option<RecordId> {
+        if let Type::Ptr(inner) = self.get(id) {
+            if let Type::Record(r) = self.get(*inner) {
+                return Some(*r);
+            }
+        }
+        None
+    }
+
+    /// The record id if `id` is a record, a pointer to a record, or an
+    /// array of records (any depth of array/pointer nesting).
+    pub fn involved_record(&self, id: TypeId) -> Option<RecordId> {
+        match self.get(id) {
+            Type::Record(r) => Some(*r),
+            Type::Ptr(inner) => self.involved_record(*inner),
+            Type::Array(elem, _) => self.involved_record(*elem),
+            _ => None,
+        }
+    }
+}
+
+/// Round `v` up to the next multiple of `align` (which must be a power of
+/// two or any positive integer; we use the generic formula).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TypeTable {
+        TypeTable::new()
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarKind::I8.size(), 1);
+        assert_eq!(ScalarKind::U16.size(), 2);
+        assert_eq!(ScalarKind::F32.size(), 4);
+        assert_eq!(ScalarKind::F64.size(), 8);
+        assert!(ScalarKind::F32.is_float());
+        assert!(!ScalarKind::U64.is_float());
+        assert!(ScalarKind::I32.is_signed());
+        assert!(!ScalarKind::U32.is_signed());
+    }
+
+    #[test]
+    fn scalar_names_roundtrip() {
+        for k in [
+            ScalarKind::I8,
+            ScalarKind::I16,
+            ScalarKind::I32,
+            ScalarKind::I64,
+            ScalarKind::U8,
+            ScalarKind::U16,
+            ScalarKind::U32,
+            ScalarKind::U64,
+            ScalarKind::F32,
+            ScalarKind::F64,
+        ] {
+            assert_eq!(ScalarKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ScalarKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let mut t = table();
+        let a = t.scalar(ScalarKind::I32);
+        let b = t.scalar(ScalarKind::I32);
+        assert_eq!(a, b);
+        let p1 = t.ptr(a);
+        let p2 = t.ptr(b);
+        assert_eq!(p1, p2);
+        assert_ne!(a, p1);
+    }
+
+    #[test]
+    fn simple_record_layout() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let i64t = t.scalar(ScalarKind::I64);
+        let (rid, _) = t.add_record(RecordType {
+            name: "s".into(),
+            fields: vec![
+                Field::new("a", i32t),
+                Field::new("b", i64t),
+                Field::new("c", i32t),
+            ],
+        });
+        let l = t.layout_of(rid);
+        assert_eq!(l.offsets, vec![0, 8, 16]);
+        assert_eq!(l.align, 8);
+        assert_eq!(l.size, 24); // tail padded to 8
+    }
+
+    #[test]
+    fn packed_small_fields() {
+        let mut t = table();
+        let i8t = t.scalar(ScalarKind::I8);
+        let i16t = t.scalar(ScalarKind::I16);
+        let (rid, _) = t.add_record(RecordType {
+            name: "s".into(),
+            fields: vec![
+                Field::new("a", i8t),
+                Field::new("b", i8t),
+                Field::new("c", i16t),
+            ],
+        });
+        let l = t.layout_of(rid);
+        assert_eq!(l.offsets, vec![0, 1, 2]);
+        assert_eq!(l.size, 4);
+        assert_eq!(l.align, 2);
+    }
+
+    #[test]
+    fn empty_record_layout() {
+        let mut t = table();
+        let (rid, _) = t.add_record(RecordType {
+            name: "empty".into(),
+            fields: vec![],
+        });
+        let l = t.layout_of(rid);
+        assert_eq!(l.size, 0);
+        assert_eq!(l.align, 1);
+        assert!(l.offsets.is_empty());
+    }
+
+    #[test]
+    fn nested_record_layout_and_detection() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let (inner, inner_ty) = t.add_record(RecordType {
+            name: "inner".into(),
+            fields: vec![Field::new("x", i32t), Field::new("y", i32t)],
+        });
+        let (outer, _) = t.add_record(RecordType {
+            name: "outer".into(),
+            fields: vec![Field::new("i", inner_ty), Field::new("z", i32t)],
+        });
+        let l = t.layout_of(outer);
+        assert_eq!(l.offsets, vec![0, 8]);
+        assert_eq!(l.size, 12);
+        let nested = t.nested_records();
+        assert_eq!(nested, vec![inner]);
+        assert!(t.contains_record(inner_ty, inner));
+        assert!(!t.is_recursive(outer));
+    }
+
+    #[test]
+    fn recursive_detection_through_pointer() {
+        let mut t = table();
+        let i64t = t.scalar(ScalarKind::I64);
+        // Forward-declare by creating the record first with a placeholder,
+        // then fix up: simplest is two-phase via replace_record.
+        let (rid, rty) = t.add_record(RecordType {
+            name: "list".into(),
+            fields: vec![],
+        });
+        let pnode = t.ptr(rty);
+        t.replace_record(
+            rid,
+            RecordType {
+                name: "list".into(),
+                fields: vec![Field::new("val", i64t), Field::new("next", pnode)],
+            },
+        );
+        assert!(t.is_recursive(rid));
+        // A pointer field does not make the type "nested".
+        assert!(t.nested_records().is_empty());
+    }
+
+    #[test]
+    fn pointer_sizes() {
+        let mut t = table();
+        let i8t = t.scalar(ScalarKind::I8);
+        let p = t.ptr(i8t);
+        assert_eq!(t.size_of(p), 8);
+        assert_eq!(t.align_of(p), 8);
+        let f = t.func_ptr();
+        assert_eq!(t.size_of(f), 8);
+    }
+
+    #[test]
+    fn array_layout() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let arr = t.array(i32t, 10);
+        assert_eq!(t.size_of(arr), 40);
+        assert_eq!(t.align_of(arr), 4);
+    }
+
+    #[test]
+    fn display_types() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let p = t.ptr(i32t);
+        let (_, rty) = t.add_record(RecordType {
+            name: "node".into(),
+            fields: vec![Field::new("v", i32t)],
+        });
+        let pr = t.ptr(rty);
+        assert_eq!(t.display(p), "ptr<i32>");
+        assert_eq!(t.display(pr), "ptr<node>");
+        let arr = t.array(i32t, 4);
+        assert_eq!(t.display(arr), "[i32; 4]");
+    }
+
+    #[test]
+    fn involved_record_digs_through() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let (rid, rty) = t.add_record(RecordType {
+            name: "r".into(),
+            fields: vec![Field::new("v", i32t)],
+        });
+        let p = t.ptr(rty);
+        let pp = t.ptr(p);
+        let arr = t.array(rty, 3);
+        assert_eq!(t.involved_record(pp), Some(rid));
+        assert_eq!(t.involved_record(arr), Some(rid));
+        assert_eq!(t.involved_record(i32t), None);
+    }
+
+    #[test]
+    fn field_index_lookup() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let (rid, _) = t.add_record(RecordType {
+            name: "r".into(),
+            fields: vec![Field::new("a", i32t), Field::new("b", i32t)],
+        });
+        assert_eq!(t.record(rid).field_index("b"), Some(1));
+        assert_eq!(t.record(rid).field_index("zz"), None);
+    }
+
+    #[test]
+    fn bitfield_metadata() {
+        let mut t = table();
+        let u32t = t.scalar(ScalarKind::U32);
+        let f = Field::bitfield("flags", u32t, 3);
+        assert_eq!(f.bit_width, Some(3));
+    }
+
+    #[test]
+    fn round_up_works() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(1, 8), 8);
+        assert_eq!(round_up(8, 8), 8);
+        assert_eq!(round_up(9, 4), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate record type name")]
+    fn duplicate_record_name_panics() {
+        let mut t = table();
+        t.add_record(RecordType {
+            name: "dup".into(),
+            fields: vec![],
+        });
+        t.add_record(RecordType {
+            name: "dup".into(),
+            fields: vec![],
+        });
+    }
+}

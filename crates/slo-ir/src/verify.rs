@@ -1,0 +1,339 @@
+//! IR well-formedness verifier.
+//!
+//! The verifier checks the structural invariants the analyses and the VM
+//! rely on. It is run by tests after every transformation to catch rewriting
+//! bugs early.
+
+use crate::instr::{FuncId, Instr, Operand, Reg};
+use crate::module::Program;
+use crate::types::Type;
+use std::fmt;
+
+/// One verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem occurred (if applicable).
+    pub func: Option<FuncId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(id) => write!(f, "[{}] {}", id, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole program. Returns all problems found (empty = valid).
+pub fn verify(p: &Program) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
+
+    for fid in p.func_ids() {
+        let f = p.func(fid);
+        let push = |errs: &mut Vec<VerifyError>, msg: String| {
+            errs.push(VerifyError {
+                func: Some(fid),
+                message: msg,
+            })
+        };
+
+        if !f.is_defined() {
+            if !f.blocks.is_empty() {
+                push(&mut errs, "external function has a body".into());
+            }
+            continue;
+        }
+        if f.blocks.is_empty() {
+            push(&mut errs, "defined function has no blocks".into());
+            continue;
+        }
+
+        let nblocks = f.blocks.len() as u32;
+        for (bi, b) in f.blocks.iter().enumerate() {
+            if b.instrs.is_empty() {
+                push(&mut errs, format!("bb{bi} is empty"));
+                continue;
+            }
+            let last = b.instrs.len() - 1;
+            for (ii, ins) in b.instrs.iter().enumerate() {
+                if ins.is_terminator() != (ii == last) {
+                    push(
+                        &mut errs,
+                        format!("bb{bi}:{ii}: terminator placement is wrong"),
+                    );
+                }
+                // register ranges
+                if let Some(Reg(r)) = ins.def() {
+                    if r >= f.num_regs {
+                        push(&mut errs, format!("bb{bi}:{ii}: def of out-of-range r{r}"));
+                    }
+                }
+                for u in ins.uses() {
+                    if let Operand::Reg(Reg(r)) = u {
+                        if r >= f.num_regs {
+                            push(&mut errs, format!("bb{bi}:{ii}: use of out-of-range r{r}"));
+                        }
+                    }
+                }
+                // block targets
+                for s in ins.successors() {
+                    if s.0 >= nblocks {
+                        push(&mut errs, format!("bb{bi}:{ii}: jump to missing {s}"));
+                    }
+                }
+                // structural checks per instruction
+                match ins {
+                    Instr::FieldAddr { record, field, .. } => {
+                        if record.0 as usize >= p.types.num_records() {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown record {record}"));
+                        } else if *field as usize >= p.types.record(*record).fields.len() {
+                            push(
+                                &mut errs,
+                                format!(
+                                    "bb{bi}:{ii}: field index {field} out of range for `{}`",
+                                    p.types.record(*record).name
+                                ),
+                            );
+                        }
+                    }
+                    Instr::Call { callee, .. }
+                        if callee.index() >= p.funcs.len() => {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown callee {callee}"));
+                        }
+                    Instr::FuncAddr { func, .. }
+                        if func.index() >= p.funcs.len() => {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown function {func}"));
+                        }
+                    Instr::LoadGlobal { global, .. }
+                    | Instr::StoreGlobal { global, .. }
+                    | Instr::AddrOfGlobal { global, .. }
+                        if global.index() >= p.globals.len() => {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown global {global}"));
+                        }
+                    Instr::Load { ty, .. } | Instr::Store { ty, .. } => {
+                        if (ty.0 as usize) >= p.types.num_types() {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown type {ty}"));
+                        } else if matches!(p.types.get(*ty), Type::Record(_) | Type::Array(..)) {
+                            push(
+                                &mut errs,
+                                format!(
+                                    "bb{bi}:{ii}: aggregate load/store of {} (use memcpy)",
+                                    p.types.display(*ty)
+                                ),
+                            );
+                        }
+                    }
+                    Instr::Alloc { elem, .. } | Instr::Realloc { elem, .. }
+                        if (elem.0 as usize) >= p.types.num_types() => {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown type {elem}"));
+                        }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // unique names already enforced on construction; re-check cheaply.
+    let mut names: Vec<&str> = p.funcs.iter().map(|f| f.name.as_str()).collect();
+    names.sort_unstable();
+    for w in names.windows(2) {
+        if w[0] == w[1] {
+            errs.push(VerifyError {
+                func: None,
+                message: format!("duplicate function name `{}`", w[0]),
+            });
+        }
+    }
+
+    errs
+}
+
+/// Panic with a readable message if the program is invalid. For tests.
+///
+/// # Panics
+///
+/// Panics if [`verify`] reports any error.
+pub fn assert_valid(p: &Program) {
+    let errs = verify(p);
+    assert!(
+        errs.is_empty(),
+        "IR verification failed:\n{}",
+        errs.iter()
+            .map(|e| format!("  - {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{BlockId, Operand};
+    use crate::module::{BasicBlock, FuncKind, Function};
+    use crate::types::{Field, ScalarKind, TypeId};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("main", vec![], i64t);
+        pb.define(f, |fb| {
+            fb.count_loop(Operand::int(3), |fb, _| {
+                fb.iconst(0);
+            });
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        assert!(verify(&p).is_empty());
+        assert_valid(&p);
+    }
+
+    #[test]
+    fn missing_terminator_detected() {
+        let mut p = Program::new();
+        let void = p.types.void();
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: void,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Assign {
+                    dst: Reg(0),
+                    src: Operand::int(1),
+                }],
+            }],
+            num_regs: 1,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("terminator")));
+    }
+
+    #[test]
+    fn out_of_range_register_detected() {
+        let mut p = Program::new();
+        let void = p.types.void();
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: void,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![
+                    Instr::Assign {
+                        dst: Reg(5),
+                        src: Operand::int(1),
+                    },
+                    Instr::Return { value: None },
+                ],
+            }],
+            num_regs: 1,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("out-of-range")));
+    }
+
+    #[test]
+    fn bad_jump_target_detected() {
+        let mut p = Program::new();
+        let void = p.types.void();
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: void,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Jump {
+                    target: BlockId(9),
+                }],
+            }],
+            num_regs: 0,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("missing bb9")));
+    }
+
+    #[test]
+    fn bad_field_index_detected() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let (rid, rty) = pb.record("r", vec![Field::new("a", i64t)]);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            let x = fb.alloc(rty, Operand::int(1));
+            let _ = fb.field_addr(x.into(), rid, 7); // out of range
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("field index 7")));
+    }
+
+    #[test]
+    fn aggregate_load_detected() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let (_, rty) = pb.record("r", vec![Field::new("a", i64t)]);
+        let f = pb.declare("f", vec![], i64t);
+        pb.define(f, |fb| {
+            let x = fb.alloc(rty, Operand::int(1));
+            let _ = fb.load(x.into(), rty); // loading a whole record
+            fb.ret(Some(Operand::int(0)));
+        });
+        let p = pb.finish();
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("aggregate")));
+    }
+
+    #[test]
+    fn empty_block_detected() {
+        let mut p = Program::new();
+        let void = p.types.void();
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: void,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock { instrs: vec![] }],
+            num_regs: 0,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("empty")));
+    }
+
+    #[test]
+    fn unknown_type_in_load() {
+        let mut p = Program::new();
+        let void = p.types.void();
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: void,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![
+                    Instr::Load {
+                        dst: Reg(0),
+                        addr: Operand::null(),
+                        ty: TypeId(99),
+                    },
+                    Instr::Return { value: None },
+                ],
+            }],
+            num_regs: 1,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("unknown type")));
+    }
+}

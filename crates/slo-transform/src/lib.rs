@@ -1,0 +1,99 @@
+//! # slo-transform — the BE transformations
+//!
+//! The transformation half of *"Practical Structure Layout Optimization
+//! and Advice"* (CGO 2006): planning heuristics (§2.4) and the rewrites
+//! for **structure splitting** (link pointers), **structure peeling**
+//! (index rewrite, no link pointers), **instance interleaving** (the
+//! §2.1 alternative), **dead field removal**, **field reordering** (both
+//! within splits and as a standalone advisory rewrite), and **global
+//! variable layout** (the GVL phase the paper plans to merge, §4).
+//!
+//! The entry points are [`plan::decide`] (IPA heuristics →
+//! [`plan::TransformPlan`]) and [`rewrite::apply_plan`] (BE). A forced
+//! plan can be constructed directly to reproduce the paper's §2.4
+//! anecdote (splitting out `time`/`mark` of 181.mcf degrades performance).
+
+#![warn(missing_docs)]
+
+pub mod gvl;
+pub mod peel;
+pub mod plan;
+pub mod reorder;
+pub mod rewrite;
+
+pub use gvl::{apply_gvl, gvl, gvl_order};
+pub use peel::{apply_interleave, peel_by_name, PeelMode};
+pub use plan::{decide, peelable, HeuristicsConfig, TransformPlan, TypeTransform};
+pub use reorder::{reorder_by_names, reorder_fields};
+pub use rewrite::{apply_plan, RewriteError};
+
+/// Build a forced split plan for one record (the §2.4 experiment API):
+/// the named fields are split out, everything else stays hot in original
+/// order.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::Unsupported`] if the record or a field name is
+/// unknown.
+pub fn forced_split(
+    prog: &slo_ir::Program,
+    record: &str,
+    split_out: &[&str],
+) -> Result<TransformPlan, RewriteError> {
+    let rid = prog
+        .types
+        .record_by_name(record)
+        .ok_or_else(|| RewriteError::Unsupported(format!("no record `{record}`")))?;
+    let rec = prog.types.record(rid);
+    let mut cold = Vec::new();
+    for n in split_out {
+        let i = rec
+            .field_index(n)
+            .ok_or_else(|| RewriteError::Unsupported(format!("no field `{n}`")))?;
+        cold.push(i as u32);
+    }
+    let hot: Vec<u32> = (0..rec.fields.len() as u32)
+        .filter(|i| !cold.contains(i))
+        .collect();
+    let mut plan = TransformPlan::default();
+    plan.types.insert(
+        rid,
+        TypeTransform::Split {
+            hot_order: hot,
+            cold,
+            dead: vec![],
+        },
+    );
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::parser::parse;
+
+    #[test]
+    fn forced_split_builds_plan() {
+        let p = parse("record n { a: i64, b: i64, c: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n")
+            .expect("parse");
+        let plan = forced_split(&p, "n", &["b"]).expect("plan");
+        let rid = p.types.record_by_name("n").expect("n");
+        match plan.of(rid) {
+            TypeTransform::Split {
+                hot_order, cold, ..
+            } => {
+                assert_eq!(cold, &vec![1]);
+                assert_eq!(hot_order, &vec![0, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_split_rejects_unknown() {
+        let p = parse("record n { a: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n")
+            .expect("parse");
+        assert!(forced_split(&p, "zz", &[]).is_err());
+        assert!(forced_split(&p, "n", &["zz"]).is_err());
+    }
+}

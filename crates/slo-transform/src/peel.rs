@@ -1,0 +1,590 @@
+//! Structure peeling — splitting without link pointers (§2.1, Figure 1(c)).
+//!
+//! The 179.art pattern: a dynamically allocated array of a non-recursive
+//! record, published through global pointers. The type is broken into one
+//! record per surviving field; the single allocation site becomes one
+//! allocation per piece, each stored in a fresh global pointer `P_i`; and
+//! every pointer to the original type is replaced by an **element index**:
+//!
+//! * the allocation result becomes index 0,
+//! * `indexaddr base, T, i` becomes integer addition `base + i`,
+//! * `fieldaddr base, T.f` becomes `indexaddr (gload P_f), T_f, base`,
+//! * globals/parameters/loads/stores of `ptr<T>` are retyped to `i64`.
+//!
+//! The planner ([`crate::plan::peelable`]) guarantees no construct exists
+//! that could observe the difference (no frees, no null comparisons, no
+//! pointer arithmetic, no foreign records embedding `ptr<T>`).
+
+use crate::rewrite::RewriteError;
+use slo_ir::{
+    FuncId, GlobalVar, Instr, Operand, Program, RecordId, RecordType, Reg, ScalarKind, Type,
+    TypeId,
+};
+
+/// How the per-field storage is laid out after the pointer→index rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeelMode {
+    /// One allocation per field (the paper's structure peeling,
+    /// Figure 1 (c)).
+    Separate,
+    /// One allocation holding all field regions back to back — *instance
+    /// interleaving* (Truong et al.), which the paper notes can be
+    /// integrated "without the need for a special allocation library"
+    /// when the array size is bounded at compile time.
+    Interleaved,
+}
+
+/// Apply peeling of `rid` (dropping `dead` fields) to `prog` in place.
+///
+/// # Errors
+///
+/// Returns [`RewriteError::DeadFieldRead`] if a removed field is loaded.
+pub fn apply_peel(prog: &mut Program, rid: RecordId, dead: &[u32]) -> Result<(), RewriteError> {
+    apply_peel_mode(prog, rid, dead, PeelMode::Separate)
+}
+
+/// Apply instance interleaving of `rid`: the single allocation site must
+/// use a compile-time-constant element count (the "limit on the size of
+/// a dynamically allocated array" the paper requires for this variant).
+///
+/// # Errors
+///
+/// Returns [`RewriteError::Unsupported`] if the allocation count is not a
+/// constant, or [`RewriteError::DeadFieldRead`] if a removed field is
+/// loaded.
+pub fn apply_interleave(
+    prog: &mut Program,
+    rid: RecordId,
+    dead: &[u32],
+) -> Result<(), RewriteError> {
+    apply_peel_mode(prog, rid, dead, PeelMode::Interleaved)
+}
+
+fn apply_peel_mode(
+    prog: &mut Program,
+    rid: RecordId,
+    dead: &[u32],
+    mode: PeelMode,
+) -> Result<(), RewriteError> {
+    let rec = prog.types.record(rid).clone();
+    let rec_ty = prog
+        .types
+        .record_type_id(rid)
+        .expect("peeled record has an interned type");
+
+    // --- create piece records + globals -------------------------------
+    // piece_of[field] = Some((piece_rid, piece_ty, piece_global))
+    let mut piece_of: Vec<Option<(RecordId, TypeId, slo_ir::GlobalId)>> =
+        vec![None; rec.fields.len()];
+    for (i, f) in rec.fields.iter().enumerate() {
+        if dead.contains(&(i as u32)) {
+            continue;
+        }
+        let name = format!("{}_p_{}", rec.name, f.name);
+        let (prid, pty) = prog.types.add_record(RecordType {
+            name,
+            fields: vec![f.clone()],
+        });
+        let pptr = prog.types.ptr(pty);
+        let g = prog.add_global(GlobalVar {
+            name: format!("__peel_{}_{}", rec.name, f.name),
+            ty: pptr,
+        });
+        piece_of[i] = Some((prid, pty, g));
+    }
+
+    let index_ty = prog.types.scalar(ScalarKind::I64);
+
+    // --- retype globals of ptr<rid> to index ---------------------------
+    for gid in prog.global_ids().collect::<Vec<_>>() {
+        let g = prog.global(gid);
+        if is_ptr_to(prog, g.ty, rid) {
+            prog.globals[gid.index()].ty = index_ty;
+        }
+    }
+
+    // --- rewrite every defined function --------------------------------
+    for fid in prog.func_ids().collect::<Vec<_>>() {
+        if !prog.func(fid).is_defined() {
+            continue;
+        }
+        rewrite_function(prog, fid, rid, rec_ty, &piece_of, index_ty, mode)?;
+    }
+
+    // --- retype signatures ---------------------------------------------
+    for fid in prog.func_ids().collect::<Vec<_>>() {
+        let f = prog.func(fid).clone();
+        let mut changed = f.clone();
+        let mut any = false;
+        for (i, (_, t)) in f.params.iter().enumerate() {
+            if is_ptr_to(prog, *t, rid) {
+                changed.params[i].1 = index_ty;
+                any = true;
+            }
+        }
+        if is_ptr_to(prog, f.ret, rid) {
+            changed.ret = index_ty;
+            any = true;
+        }
+        if any {
+            *prog.func_mut(fid) = changed;
+        }
+    }
+
+    Ok(())
+}
+
+fn is_ptr_to(prog: &Program, ty: TypeId, rid: RecordId) -> bool {
+    matches!(prog.types.get(ty), Type::Ptr(inner)
+        if prog.types.involved_record(*inner) == Some(rid))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_function(
+    prog: &mut Program,
+    fid: FuncId,
+    rid: RecordId,
+    _rec_ty: TypeId,
+    piece_of: &[Option<(RecordId, TypeId, slo_ir::GlobalId)>],
+    index_ty: TypeId,
+    mode: PeelMode,
+) -> Result<(), RewriteError> {
+    let fname = prog.func(fid).name.clone();
+    let f = prog.func(fid).clone();
+    let mut next_reg = f.num_regs;
+    let mut fresh = || {
+        let r = Reg(next_reg);
+        next_reg += 1;
+        r
+    };
+    let mut dead_addrs: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    // Hoist the piece-base loads to the function entry (what a real
+    // compiler's loop-invariant code motion would do with `P_i`) — but
+    // only in functions that do not themselves allocate the array, where
+    // the ordering against the StoreGlobal is trivially safe.
+    let allocates_rid = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(
+        i,
+        Instr::Alloc { elem, .. } if prog.types.involved_record(*elem) == Some(rid)
+    ));
+    let mut hoisted: Vec<Option<Reg>> = vec![None; piece_of.len()];
+    let mut entry_loads: Vec<Instr> = Vec::new();
+    if !allocates_rid {
+        for (i, p) in piece_of.iter().enumerate() {
+            if let Some((_, _, g)) = p {
+                let r = fresh();
+                hoisted[i] = Some(r);
+                entry_loads.push(Instr::LoadGlobal { dst: r, global: *g });
+            }
+        }
+    }
+
+    let mut new_blocks = Vec::with_capacity(f.blocks.len());
+    for block in &f.blocks {
+        let mut nb: Vec<Instr> = Vec::with_capacity(block.instrs.len());
+        for ins in &block.instrs {
+            match ins {
+                Instr::Alloc {
+                    dst,
+                    elem,
+                    count,
+                    zeroed,
+                } if prog.types.involved_record(*elem) == Some(rid) => {
+                    match mode {
+                        PeelMode::Separate => {
+                            // one allocation per piece, published to its
+                            // global
+                            for p in piece_of.iter().flatten() {
+                                let (_, pty, g) = *p;
+                                let pr = fresh();
+                                nb.push(Instr::Alloc {
+                                    dst: pr,
+                                    elem: pty,
+                                    count: *count,
+                                    zeroed: *zeroed,
+                                });
+                                nb.push(Instr::StoreGlobal {
+                                    global: g,
+                                    value: pr.into(),
+                                });
+                            }
+                        }
+                        PeelMode::Interleaved => {
+                            // one allocation; field regions at
+                            // statically computed, N-scaled offsets
+                            let n = count.as_const_int().ok_or_else(|| {
+                                RewriteError::Unsupported(format!(
+                                    "interleaving `{}` needs a constant                                      allocation count (in `{fname}`)",
+                                    prog.types.record(rid).name
+                                ))
+                            })? as u64;
+                            let u8t = prog.types.scalar(slo_ir::ScalarKind::U8);
+                            let mut offset = 0u64;
+                            let mut regions = Vec::new();
+                            for p in piece_of.iter().flatten() {
+                                let (_, pty, g) = *p;
+                                let sz = prog.types.size_of(pty);
+                                offset = offset.div_ceil(16) * 16;
+                                regions.push((g, offset));
+                                offset += sz * n;
+                            }
+                            let base = fresh();
+                            nb.push(Instr::Alloc {
+                                dst: base,
+                                elem: u8t,
+                                count: Operand::Const(slo_ir::Const::Int(
+                                    offset as i64,
+                                )),
+                                zeroed: *zeroed,
+                            });
+                            for (g, off) in regions {
+                                let pr = fresh();
+                                nb.push(Instr::Bin {
+                                    dst: pr,
+                                    op: slo_ir::BinOp::Add,
+                                    lhs: base.into(),
+                                    rhs: Operand::Const(slo_ir::Const::Int(
+                                        off as i64,
+                                    )),
+                                });
+                                nb.push(Instr::StoreGlobal {
+                                    global: g,
+                                    value: pr.into(),
+                                });
+                            }
+                        }
+                    }
+                    // the original result is now index 0
+                    nb.push(Instr::Assign {
+                        dst: *dst,
+                        src: Operand::Const(slo_ir::Const::Int(0)),
+                    });
+                }
+                Instr::IndexAddr {
+                    dst, base, elem, index,
+                } if prog.types.involved_record(*elem) == Some(rid) => {
+                    nb.push(Instr::Bin {
+                        dst: *dst,
+                        op: slo_ir::BinOp::Add,
+                        lhs: *base,
+                        rhs: *index,
+                    });
+                }
+                Instr::FieldAddr {
+                    dst,
+                    base,
+                    record,
+                    field,
+                } if *record == rid => match piece_of[*field as usize] {
+                    Some((_, pty, g)) => {
+                        let pb = match hoisted[*field as usize] {
+                            Some(r) => r,
+                            None => {
+                                let r = fresh();
+                                nb.push(Instr::LoadGlobal { dst: r, global: g });
+                                r
+                            }
+                        };
+                        nb.push(Instr::IndexAddr {
+                            dst: *dst,
+                            base: pb.into(),
+                            elem: pty,
+                            index: *base,
+                        });
+                    }
+                    None => {
+                        dead_addrs.insert(dst.0);
+                    }
+                },
+                Instr::Store { addr, value, ty } => {
+                    if let Operand::Reg(r) = addr {
+                        if dead_addrs.contains(&r.0) {
+                            continue;
+                        }
+                    }
+                    let ty = if is_ptr_to(prog, *ty, rid) { index_ty } else { *ty };
+                    nb.push(Instr::Store {
+                        addr: *addr,
+                        value: *value,
+                        ty,
+                    });
+                }
+                Instr::Load { dst, addr, ty } => {
+                    if let Operand::Reg(r) = addr {
+                        if dead_addrs.contains(&r.0) {
+                            return Err(RewriteError::DeadFieldRead(format!("in `{fname}`")));
+                        }
+                    }
+                    let ty = if is_ptr_to(prog, *ty, rid) { index_ty } else { *ty };
+                    nb.push(Instr::Load {
+                        dst: *dst,
+                        addr: *addr,
+                        ty,
+                    });
+                }
+                Instr::Cast { dst, src, from, to } => {
+                    let from = if is_ptr_to(prog, *from, rid) { index_ty } else { *from };
+                    let to = if is_ptr_to(prog, *to, rid) { index_ty } else { *to };
+                    nb.push(Instr::Cast {
+                        dst: *dst,
+                        src: *src,
+                        from,
+                        to,
+                    });
+                }
+                other => nb.push(other.clone()),
+            }
+        }
+        new_blocks.push(slo_ir::BasicBlock { instrs: nb });
+    }
+
+    if !entry_loads.is_empty() {
+        let first = &mut new_blocks[0].instrs;
+        entry_loads.append(first);
+        *first = entry_loads;
+    }
+
+    let fm = prog.func_mut(fid);
+    fm.blocks = new_blocks;
+    fm.num_regs = next_reg;
+    Ok(())
+}
+
+/// Convenience: peel a single type by name with no dead fields (used by
+/// examples and case studies).
+///
+/// # Errors
+///
+/// Returns [`RewriteError::Unsupported`] if the record does not exist.
+pub fn peel_by_name(prog: &Program, name: &str) -> Result<Program, RewriteError> {
+    let rid = prog
+        .types
+        .record_by_name(name)
+        .ok_or_else(|| RewriteError::Unsupported(format!("no record `{name}`")))?;
+    let mut plan = crate::plan::TransformPlan::default();
+    plan.types
+        .insert(rid, crate::plan::TypeTransform::Peel { dead: vec![] });
+    crate::rewrite::apply_plan(prog, &plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::parser::parse;
+    use slo_ir::verify::assert_valid;
+    use slo_vm::{run, Value, VmOptions};
+
+    const ART: &str = r#"
+record elem { w: f64, t: f64 }
+global P: ptr<elem>
+func main() -> f64 {
+bb0:
+  r0 = alloc elem, 100
+  gstore r0, P
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 100
+  br r2, bb2, bb3
+bb2:
+  r3 = gload P
+  r4 = indexaddr r3, elem, r1
+  r5 = fieldaddr r4, elem.w
+  store 2.0, r5 : f64
+  r6 = fieldaddr r4, elem.t
+  store 3.0, r6 : f64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r7 = 0
+  r8 = 0.0
+  jump bb4
+bb4:
+  r9 = cmp.lt r7, 100
+  br r9, bb5, bb6
+bb5:
+  r10 = gload P
+  r11 = indexaddr r10, elem, r7
+  r12 = fieldaddr r11, elem.w
+  r13 = load r12 : f64
+  r8 = add r8, r13
+  r7 = add r7, 1
+  jump bb4
+bb6:
+  ret r8
+}
+"#;
+
+    #[test]
+    fn peel_preserves_semantics() {
+        let p = parse(ART).expect("parse");
+        let before = run(&p, &VmOptions::default()).expect("run before");
+        let q = peel_by_name(&p, "elem").expect("peel");
+        assert_valid(&q);
+        let after = run(&q, &VmOptions::default()).expect("run after");
+        assert_eq!(before.exit, Value::Float(200.0));
+        assert_eq!(after.exit, Value::Float(200.0));
+    }
+
+    #[test]
+    fn peel_creates_piece_records_and_globals() {
+        let p = parse(ART).expect("parse");
+        let q = peel_by_name(&p, "elem").expect("peel");
+        assert!(q.types.record_by_name("elem_p_w").is_some());
+        assert!(q.types.record_by_name("elem_p_t").is_some());
+        assert!(q.global_by_name("__peel_elem_w").is_some());
+        assert!(q.global_by_name("__peel_elem_t").is_some());
+        // the original global is retyped to an index
+        let pg = q.global_by_name("P").expect("P");
+        assert!(matches!(
+            q.types.get(q.global(pg).ty),
+            Type::Scalar(ScalarKind::I64)
+        ));
+    }
+
+    #[test]
+    fn peel_improves_single_field_traversal() {
+        // only field w is traversed in the second loop: after peeling the
+        // traversal touches a dense f64 array instead of 16-byte structs
+        let p = parse(ART).expect("parse");
+        let q = peel_by_name(&p, "elem").expect("peel");
+        let node = q.types.record_by_name("elem_p_w").expect("piece");
+        assert_eq!(q.types.layout_of(node).size, 8);
+    }
+
+    #[test]
+    fn peel_with_dead_field() {
+        let src = r#"
+record elem { live: f64, dead: f64 }
+global P: ptr<elem>
+func main() -> f64 {
+bb0:
+  r0 = alloc elem, 10
+  gstore r0, P
+  r1 = gload P
+  r2 = indexaddr r1, elem, 3
+  r3 = fieldaddr r2, elem.dead
+  store 9.0, r3 : f64
+  r4 = fieldaddr r2, elem.live
+  store 4.0, r4 : f64
+  r5 = load r4 : f64
+  ret r5
+}
+"#;
+        let p = parse(src).expect("parse");
+        let rid = p.types.record_by_name("elem").expect("elem");
+        let mut plan = crate::plan::TransformPlan::default();
+        plan.types
+            .insert(rid, crate::plan::TypeTransform::Peel { dead: vec![1] });
+        let q = crate::rewrite::apply_plan(&p, &plan).expect("peel");
+        assert_valid(&q);
+        let out = run(&q, &VmOptions::default()).expect("run");
+        assert_eq!(out.exit, Value::Float(4.0));
+        assert!(q.types.record_by_name("elem_p_dead").is_none());
+    }
+
+    #[test]
+    fn interleave_preserves_semantics() {
+        let p = parse(ART).expect("parse");
+        let before = run(&p, &VmOptions::default()).expect("run before");
+        let mut q = p.clone();
+        let elem = p.types.record_by_name("elem").expect("elem");
+        apply_interleave(&mut q, elem, &[]).expect("interleave");
+        assert_valid(&q);
+        let after = run(&q, &VmOptions::default()).expect("run after");
+        assert_eq!(before.exit, after.exit);
+        // exactly one allocation remains (plus whatever main had)
+        let main = q.main().expect("main");
+        let allocs = q
+            .instrs_of(main)
+            .filter(|(_, i)| matches!(i, slo_ir::Instr::Alloc { .. }))
+            .count();
+        assert_eq!(allocs, 1, "interleaving keeps a single allocation");
+        // total bytes allocated match the region layout (100 * 16 bytes)
+        assert_eq!(after.stats.allocated_bytes, 1600);
+    }
+
+    #[test]
+    fn interleave_requires_constant_count() {
+        let src = r#"
+record elem { w: f64 }
+global P: ptr<elem>
+func main() -> i64 {
+bb0:
+  r0 = 100
+  r1 = alloc elem, r0
+  gstore r1, P
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let mut q = p.clone();
+        let elem = p.types.record_by_name("elem").expect("elem");
+        match apply_interleave(&mut q, elem, &[]) {
+            Err(RewriteError::Unsupported(msg)) => {
+                assert!(msg.contains("constant"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peel_across_functions() {
+        let src = r#"
+record elem { w: f64 }
+global P: ptr<elem>
+func sum(ptr<elem>, i64) -> f64 {
+bb0:
+  r2 = 0
+  r3 = 0.0
+  jump bb1
+bb1:
+  r4 = cmp.lt r2, r1
+  br r4, bb2, bb3
+bb2:
+  r5 = indexaddr r0, elem, r2
+  r6 = fieldaddr r5, elem.w
+  r7 = load r6 : f64
+  r3 = add r3, r7
+  r2 = add r2, 1
+  jump bb1
+bb3:
+  ret r3
+}
+func main() -> f64 {
+bb0:
+  r0 = alloc elem, 50
+  gstore r0, P
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 50
+  br r2, bb2, bb3
+bb2:
+  r3 = gload P
+  r4 = indexaddr r3, elem, r1
+  r5 = fieldaddr r4, elem.w
+  store 1.0, r5 : f64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r6 = gload P
+  r7 = call sum(r6, 50)
+  ret r7
+}
+"#;
+        let p = parse(src).expect("parse");
+        let before = run(&p, &VmOptions::default()).expect("run before");
+        let q = peel_by_name(&p, "elem").expect("peel");
+        assert_valid(&q);
+        let after = run(&q, &VmOptions::default()).expect("run after");
+        assert_eq!(before.exit, Value::Float(50.0));
+        assert_eq!(after.exit, Value::Float(50.0));
+        // sum's parameter is now an index
+        let sum = q.func_by_name("sum").expect("sum");
+        assert!(matches!(
+            q.types.get(q.func(sum).params[0].1),
+            Type::Scalar(ScalarKind::I64)
+        ));
+    }
+}

@@ -1,0 +1,716 @@
+//! The BE: applying a [`TransformPlan`] to a program.
+//!
+//! Structure splitting rewrites the type table (the root keeps the hot
+//! fields in their new order plus a trailing link pointer; a fresh
+//! `<name>_cold` record receives the cold fields), every allocation site
+//! (allocate both parts, then run a compiler-inserted loop wiring the link
+//! pointers — exactly the paper's Figure 1(b) shape), every `free` (free
+//! the cold part through the link first), and every field access (cold
+//! accesses indirect through the link pointer — the extra load whose cost
+//! §2.4 measures). Dead-field removal drops the fields from the layout and
+//! deletes the now-dead stores.
+
+use crate::plan::{TransformPlan, TypeTransform};
+use slo_ir::{
+    BasicBlock, BinOp, BlockId, CmpOp, Const, FuncId, Instr, Operand, Program, RecordId,
+    RecordType, Reg, TypeId,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Rewrite failures (all indicate planner/rewriter disagreement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A load from a field the plan removed.
+    DeadFieldRead(String),
+    /// A realloc of a split type (the planner must not split those).
+    ReallocOfSplitType(String),
+    /// Any other unsupported construct.
+    Unsupported(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::DeadFieldRead(m) => write!(f, "load from removed field: {m}"),
+            RewriteError::ReallocOfSplitType(m) => write!(f, "realloc of split type: {m}"),
+            RewriteError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Where an original field ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FieldLoc {
+    /// In the (rewritten) root record at this index.
+    Hot(u32),
+    /// In the cold record at this index.
+    Cold(u32),
+    /// Removed entirely.
+    Removed,
+}
+
+#[derive(Debug, Clone)]
+struct TypeRewrite {
+    /// Per original field index, where it went.
+    map: Vec<FieldLoc>,
+    /// The cold record (splits only).
+    cold: Option<ColdPart>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ColdPart {
+    rid: RecordId,
+    /// `Type::Record(cold_rid)` id.
+    ty: TypeId,
+    /// `ptr<cold>` id.
+    ptr_ty: TypeId,
+    /// Index of the link field in the rewritten root.
+    link_idx: u32,
+}
+
+/// Apply a plan, producing the transformed program. The input program is
+/// not modified.
+///
+/// # Errors
+///
+/// Returns a [`RewriteError`] when the plan conflicts with the code (e.g.
+/// a split type is `realloc`ed, or a removed field is read).
+pub fn apply_plan(prog: &Program, plan: &TransformPlan) -> Result<Program, RewriteError> {
+    let mut out = prog.clone();
+
+    // Peels/interleaves first (whole-program pointer→index rewrite),
+    // then splits.
+    for rid in prog.types.record_ids() {
+        match plan.of(rid) {
+            TypeTransform::Peel { dead } => {
+                crate::peel::apply_peel(&mut out, rid, dead)?;
+            }
+            TypeTransform::Interleave { dead } => {
+                crate::peel::apply_interleave(&mut out, rid, dead)?;
+            }
+            _ => {}
+        }
+    }
+
+    // Register types must be inferred against the *pre-split* type table
+    // (field indices change during the rewrite).
+    let mut reg_tys_of: HashMap<FuncId, Vec<Option<TypeId>>> = HashMap::new();
+    for fid in out.func_ids() {
+        if out.func(fid).is_defined() {
+            reg_tys_of.insert(fid, slo_analysis::util::reg_types(&out, fid));
+        }
+    }
+
+    // Build type rewrites for splits and dead removals.
+    let mut rewrites: HashMap<RecordId, TypeRewrite> = HashMap::new();
+    for rid in prog.types.record_ids() {
+        match plan.of(rid) {
+            TypeTransform::Split {
+                hot_order,
+                cold,
+                dead,
+            } => {
+                rewrites.insert(rid, build_split(&mut out, rid, hot_order, cold, dead));
+            }
+            TypeTransform::RemoveDead { dead } => {
+                rewrites.insert(rid, build_removal(&mut out, rid, dead));
+            }
+            _ => {}
+        }
+    }
+
+    if rewrites.is_empty() {
+        return Ok(out);
+    }
+
+    // Rewrite every defined function.
+    for fid in out.func_ids().collect::<Vec<_>>() {
+        if !out.func(fid).is_defined() {
+            continue;
+        }
+        let reg_tys = reg_tys_of.remove(&fid).unwrap_or_default();
+        rewrite_function(&mut out, fid, &rewrites, &reg_tys)?;
+    }
+
+    Ok(out)
+}
+
+/// Mutate the type table for a split; returns the field map.
+fn build_split(
+    out: &mut Program,
+    rid: RecordId,
+    hot_order: &[u32],
+    cold: &[u32],
+    dead: &[u32],
+) -> TypeRewrite {
+    let rec = out.types.record(rid).clone();
+    let mut map = vec![FieldLoc::Removed; rec.fields.len()];
+
+    let mut hot_fields = Vec::new();
+    for (new_i, &old) in hot_order.iter().enumerate() {
+        map[old as usize] = FieldLoc::Hot(new_i as u32);
+        hot_fields.push(rec.fields[old as usize].clone());
+    }
+    let mut cold_fields = Vec::new();
+    for (new_i, &old) in cold.iter().enumerate() {
+        map[old as usize] = FieldLoc::Cold(new_i as u32);
+        cold_fields.push(rec.fields[old as usize].clone());
+    }
+    for &d in dead {
+        map[d as usize] = FieldLoc::Removed;
+    }
+
+    // the cold record
+    let cold_name = unique_record_name(out, &format!("{}_cold", rec.name));
+    let (cold_rid, cold_ty) = out.types.add_record(RecordType {
+        name: cold_name,
+        fields: cold_fields,
+    });
+    let cold_ptr = out.types.ptr(cold_ty);
+
+    // the root: hot fields + trailing link
+    let link_idx = hot_fields.len() as u32;
+    hot_fields.push(slo_ir::Field::new("__link", cold_ptr));
+    out.types.replace_record(
+        rid,
+        RecordType {
+            name: rec.name,
+            fields: hot_fields,
+        },
+    );
+
+    TypeRewrite {
+        map,
+        cold: Some(ColdPart {
+            rid: cold_rid,
+            ty: cold_ty,
+            ptr_ty: cold_ptr,
+            link_idx,
+        }),
+    }
+}
+
+/// Mutate the type table for dead-field removal; returns the field map.
+fn build_removal(out: &mut Program, rid: RecordId, dead: &[u32]) -> TypeRewrite {
+    let rec = out.types.record(rid).clone();
+    let mut map = Vec::with_capacity(rec.fields.len());
+    let mut kept = Vec::new();
+    for (i, f) in rec.fields.iter().enumerate() {
+        if dead.contains(&(i as u32)) {
+            map.push(FieldLoc::Removed);
+        } else {
+            map.push(FieldLoc::Hot(kept.len() as u32));
+            kept.push(f.clone());
+        }
+    }
+    out.types.replace_record(
+        rid,
+        RecordType {
+            name: rec.name,
+            fields: kept,
+        },
+    );
+    TypeRewrite { map, cold: None }
+}
+
+fn unique_record_name(out: &Program, base: &str) -> String {
+    if out.types.record_by_name(base).is_none() {
+        return base.to_string();
+    }
+    for i in 2.. {
+        let cand = format!("{base}{i}");
+        if out.types.record_by_name(&cand).is_none() {
+            return cand;
+        }
+    }
+    unreachable!("name space exhausted")
+}
+
+fn rewrite_function(
+    out: &mut Program,
+    fid: FuncId,
+    rewrites: &HashMap<RecordId, TypeRewrite>,
+    reg_tys: &[Option<TypeId>],
+) -> Result<(), RewriteError> {
+    let f = out.func(fid).clone();
+    let fname = f.name.clone();
+
+    let mut new_blocks: Vec<BasicBlock> = (0..f.blocks.len()).map(|_| BasicBlock::default()).collect();
+    let mut next_reg = f.num_regs;
+    let mut fresh = || {
+        let r = Reg(next_reg);
+        next_reg += 1;
+        r
+    };
+    let mut dead_addrs: HashSet<u32> = HashSet::new();
+
+    // record id of a pointer-typed register, pre-rewrite
+    let ptr_rec = |r: Reg, prog: &Program| -> Option<RecordId> {
+        reg_tys[r.0 as usize].and_then(|t| {
+            if prog.types.is_ptr(t) {
+                prog.types.involved_record(t)
+            } else {
+                None
+            }
+        })
+    };
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let mut cur = bi;
+        for ins in &block.instrs {
+            match ins {
+                Instr::FieldAddr {
+                    dst,
+                    base,
+                    record,
+                    field,
+                } => {
+                    let Some(rw) = rewrites.get(record) else {
+                        new_blocks[cur].instrs.push(ins.clone());
+                        continue;
+                    };
+                    match rw.map[*field as usize] {
+                        FieldLoc::Hot(ni) => {
+                            new_blocks[cur].instrs.push(Instr::FieldAddr {
+                                dst: *dst,
+                                base: *base,
+                                record: *record,
+                                field: ni,
+                            });
+                        }
+                        FieldLoc::Cold(ni) => {
+                            let cold = rw.cold.expect("cold part exists for split");
+                            let la = fresh();
+                            let cp = fresh();
+                            new_blocks[cur].instrs.push(Instr::FieldAddr {
+                                dst: la,
+                                base: *base,
+                                record: *record,
+                                field: cold.link_idx,
+                            });
+                            new_blocks[cur].instrs.push(Instr::Load {
+                                dst: cp,
+                                addr: la.into(),
+                                ty: cold.ptr_ty,
+                            });
+                            new_blocks[cur].instrs.push(Instr::FieldAddr {
+                                dst: *dst,
+                                base: cp.into(),
+                                record: cold.rid,
+                                field: ni,
+                            });
+                        }
+                        FieldLoc::Removed => {
+                            dead_addrs.insert(dst.0);
+                        }
+                    }
+                }
+                Instr::Store { addr, .. } => {
+                    if let Operand::Reg(r) = addr {
+                        if dead_addrs.contains(&r.0) {
+                            continue; // dead store removed
+                        }
+                    }
+                    new_blocks[cur].instrs.push(ins.clone());
+                }
+                Instr::Load { addr, .. } => {
+                    if let Operand::Reg(r) = addr {
+                        if dead_addrs.contains(&r.0) {
+                            return Err(RewriteError::DeadFieldRead(format!(
+                                "in `{fname}`"
+                            )));
+                        }
+                    }
+                    new_blocks[cur].instrs.push(ins.clone());
+                }
+                Instr::Alloc {
+                    dst,
+                    elem,
+                    count,
+                    zeroed,
+                } => {
+                    let rec = out.types.involved_record(*elem);
+                    let rw = rec.and_then(|r| rewrites.get(&r).map(|rw| (r, rw)));
+                    match rw {
+                        Some((r, rw)) if rw.cold.is_some() => {
+                            let cold = rw.cold.expect("checked");
+                            // hot alloc (unchanged instruction, new layout)
+                            new_blocks[cur].instrs.push(ins.clone());
+                            // cold alloc
+                            let cold_reg = fresh();
+                            new_blocks[cur].instrs.push(Instr::Alloc {
+                                dst: cold_reg,
+                                elem: cold.ty,
+                                count: *count,
+                                zeroed: *zeroed,
+                            });
+                            // link-init loop
+                            let i = fresh();
+                            new_blocks[cur].instrs.push(Instr::Assign {
+                                dst: i,
+                                src: Operand::Const(Const::Int(0)),
+                            });
+                            let header = push_block(&mut new_blocks);
+                            let body = push_block(&mut new_blocks);
+                            let cont = push_block(&mut new_blocks);
+                            new_blocks[cur].instrs.push(Instr::Jump {
+                                target: BlockId(header as u32),
+                            });
+                            let c = fresh();
+                            new_blocks[header].instrs.push(Instr::Cmp {
+                                dst: c,
+                                op: CmpOp::Lt,
+                                lhs: i.into(),
+                                rhs: *count,
+                            });
+                            new_blocks[header].instrs.push(Instr::Branch {
+                                cond: c.into(),
+                                then_bb: BlockId(body as u32),
+                                else_bb: BlockId(cont as u32),
+                            });
+                            let he = fresh();
+                            let la = fresh();
+                            let ce = fresh();
+                            let inext = fresh();
+                            new_blocks[body].instrs.push(Instr::IndexAddr {
+                                dst: he,
+                                base: (*dst).into(),
+                                elem: *elem,
+                                index: i.into(),
+                            });
+                            new_blocks[body].instrs.push(Instr::FieldAddr {
+                                dst: la,
+                                base: he.into(),
+                                record: r,
+                                field: cold.link_idx,
+                            });
+                            new_blocks[body].instrs.push(Instr::IndexAddr {
+                                dst: ce,
+                                base: cold_reg.into(),
+                                elem: cold.ty,
+                                index: i.into(),
+                            });
+                            new_blocks[body].instrs.push(Instr::Store {
+                                addr: la.into(),
+                                value: ce.into(),
+                                ty: cold.ptr_ty,
+                            });
+                            new_blocks[body].instrs.push(Instr::Bin {
+                                dst: inext,
+                                op: BinOp::Add,
+                                lhs: i.into(),
+                                rhs: Operand::Const(Const::Int(1)),
+                            });
+                            new_blocks[body].instrs.push(Instr::Assign {
+                                dst: i,
+                                src: inext.into(),
+                            });
+                            new_blocks[body].instrs.push(Instr::Jump {
+                                target: BlockId(header as u32),
+                            });
+                            cur = cont;
+                        }
+                        _ => new_blocks[cur].instrs.push(ins.clone()),
+                    }
+                }
+                Instr::Free { ptr } => {
+                    let split = match ptr {
+                        Operand::Reg(r) => ptr_rec(*r, out)
+                            .and_then(|rec| rewrites.get(&rec).map(|rw| (rec, rw))),
+                        _ => None,
+                    };
+                    match split {
+                        Some((rec, rw)) if rw.cold.is_some() => {
+                            let cold = rw.cold.expect("checked");
+                            let la = fresh();
+                            let cp = fresh();
+                            new_blocks[cur].instrs.push(Instr::FieldAddr {
+                                dst: la,
+                                base: *ptr,
+                                record: rec,
+                                field: cold.link_idx,
+                            });
+                            new_blocks[cur].instrs.push(Instr::Load {
+                                dst: cp,
+                                addr: la.into(),
+                                ty: cold.ptr_ty,
+                            });
+                            new_blocks[cur].instrs.push(Instr::Free { ptr: cp.into() });
+                            new_blocks[cur].instrs.push(Instr::Free { ptr: *ptr });
+                        }
+                        _ => new_blocks[cur].instrs.push(ins.clone()),
+                    }
+                }
+                Instr::Realloc { elem, .. } => {
+                    if let Some(rec) = out.types.involved_record(*elem) {
+                        if rewrites.get(&rec).map(|rw| rw.cold.is_some()) == Some(true) {
+                            return Err(RewriteError::ReallocOfSplitType(format!(
+                                "in `{fname}`"
+                            )));
+                        }
+                    }
+                    new_blocks[cur].instrs.push(ins.clone());
+                }
+                other => new_blocks[cur].instrs.push(other.clone()),
+            }
+        }
+    }
+
+    let f = out.func_mut(fid);
+    f.blocks = new_blocks;
+    f.num_regs = next_reg;
+    Ok(())
+}
+
+fn push_block(blocks: &mut Vec<BasicBlock>) -> usize {
+    blocks.push(BasicBlock::default());
+    blocks.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::parser::parse;
+    use slo_ir::verify::assert_valid;
+    use slo_vm::{run, Value, VmOptions};
+
+    fn split_plan(
+        p: &Program,
+        name: &str,
+        hot: Vec<u32>,
+        cold: Vec<u32>,
+        dead: Vec<u32>,
+    ) -> TransformPlan {
+        let rid = p.types.record_by_name(name).expect("record");
+        let mut plan = TransformPlan::default();
+        plan.types.insert(
+            rid,
+            TypeTransform::Split {
+                hot_order: hot,
+                cold,
+                dead,
+            },
+        );
+        plan
+    }
+
+    const SRC: &str = r#"
+record node { hot: i64, c1: i64, c2: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 10
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 10
+  br r2, bb2, bb3
+bb2:
+  r3 = indexaddr r0, node, r1
+  r4 = fieldaddr r3, node.hot
+  store r1, r4 : i64
+  r5 = fieldaddr r3, node.c1
+  store 7, r5 : i64
+  r6 = fieldaddr r3, node.c2
+  store 9, r6 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r7 = indexaddr r0, node, 5
+  r8 = fieldaddr r7, node.hot
+  r9 = load r8 : i64
+  r10 = fieldaddr r7, node.c1
+  r11 = load r10 : i64
+  r12 = fieldaddr r7, node.c2
+  r13 = load r12 : i64
+  r14 = add r9, r11
+  r15 = add r14, r13
+  free r0
+  ret r15
+}
+"#;
+
+    #[test]
+    fn split_preserves_semantics() {
+        let p = parse(SRC).expect("parse");
+        let before = run(&p, &VmOptions::default()).expect("run before");
+        let plan = split_plan(&p, "node", vec![0], vec![1, 2], vec![]);
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        assert_valid(&q);
+        let after = run(&q, &VmOptions::default()).expect("run after");
+        // 5 + 7 + 9 = 21 both times
+        assert_eq!(before.exit, Value::Int(21));
+        assert_eq!(after.exit, Value::Int(21));
+    }
+
+    #[test]
+    fn split_changes_layout() {
+        let p = parse(SRC).expect("parse");
+        let plan = split_plan(&p, "node", vec![0], vec![1, 2], vec![]);
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        let node = q.types.record_by_name("node").expect("node");
+        let rec = q.types.record(node);
+        assert_eq!(rec.fields.len(), 2); // hot + __link
+        assert_eq!(rec.fields[0].name, "hot");
+        assert_eq!(rec.fields[1].name, "__link");
+        let cold = q.types.record_by_name("node_cold").expect("cold record");
+        assert_eq!(q.types.record(cold).fields.len(), 2);
+        // root shrank from 24 to 16 bytes
+        assert_eq!(q.types.layout_of(node).size, 16);
+    }
+
+    #[test]
+    fn split_keeps_free_balanced() {
+        let p = parse(SRC).expect("parse");
+        let plan = split_plan(&p, "node", vec![0], vec![1, 2], vec![]);
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        let out = run(&q, &VmOptions::default()).expect("run");
+        // both allocations freed: 2 allocs, 2 frees
+        assert_eq!(out.stats.allocated_bytes, 10 * 16 + 10 * 16);
+    }
+
+    #[test]
+    fn dead_removal_drops_stores_and_shrinks() {
+        let src = r#"
+record node { used: i64, dead: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 4
+  r1 = fieldaddr r0, node.dead
+  store 5, r1 : i64
+  r2 = fieldaddr r0, node.used
+  store 8, r2 : i64
+  r3 = load r2 : i64
+  ret r3
+}
+"#;
+        let p = parse(src).expect("parse");
+        let rid = p.types.record_by_name("node").expect("node");
+        let mut plan = TransformPlan::default();
+        plan.types
+            .insert(rid, TypeTransform::RemoveDead { dead: vec![1] });
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        assert_valid(&q);
+        assert_eq!(q.types.layout_of(rid).size, 8);
+        let out = run(&q, &VmOptions::default()).expect("run");
+        assert_eq!(out.exit, Value::Int(8));
+        // the dead store is gone
+        let main = q.main().expect("main");
+        let stores = q
+            .instrs_of(main)
+            .filter(|(_, i)| matches!(i, Instr::Store { .. }))
+            .count();
+        assert_eq!(stores, 1);
+    }
+
+    #[test]
+    fn dead_field_read_is_error() {
+        let src = r#"
+record node { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 4
+  r1 = fieldaddr r0, node.b
+  r2 = load r1 : i64
+  ret r2
+}
+"#;
+        let p = parse(src).expect("parse");
+        let rid = p.types.record_by_name("node").expect("node");
+        let mut plan = TransformPlan::default();
+        plan.types
+            .insert(rid, TypeTransform::RemoveDead { dead: vec![1] });
+        match apply_plan(&p, &plan) {
+            Err(RewriteError::DeadFieldRead(_)) => {}
+            other => panic!("expected DeadFieldRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn realloc_of_split_type_is_error() {
+        let src = r#"
+record node { a: i64, b: i64, c: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 4
+  r1 = realloc r0, node, 8
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let plan = split_plan(&p, "node", vec![0], vec![1, 2], vec![]);
+        match apply_plan(&p, &plan) {
+            Err(RewriteError::ReallocOfSplitType(_)) => {}
+            other => panic!("expected ReallocOfSplitType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_with_reorder_and_dead() {
+        let src = r#"
+record node { d: i64, c1: i64, h2: i64, h1: i64, c2: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc node, 8
+  r1 = fieldaddr r0, node.d
+  store 1, r1 : i64
+  r2 = fieldaddr r0, node.h1
+  store 10, r2 : i64
+  r3 = fieldaddr r0, node.h2
+  store 20, r3 : i64
+  r4 = fieldaddr r0, node.c1
+  store 30, r4 : i64
+  r5 = fieldaddr r0, node.c2
+  store 40, r5 : i64
+  r6 = load r2 : i64
+  r7 = load r3 : i64
+  r8 = load r4 : i64
+  r9 = load r5 : i64
+  r10 = add r6, r7
+  r11 = add r10, r8
+  r12 = add r11, r9
+  ret r12
+}
+"#;
+        let p = parse(src).expect("parse");
+        // hot: h1 (idx 3) first then h2 (idx 2); cold: c1, c2; dead: d
+        let plan = split_plan(&p, "node", vec![3, 2], vec![1, 4], vec![0]);
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        assert_valid(&q);
+        let out = run(&q, &VmOptions::default()).expect("run");
+        assert_eq!(out.exit, Value::Int(100));
+        let node = q.types.record_by_name("node").expect("node");
+        let rec = q.types.record(node);
+        assert_eq!(
+            rec.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["h1", "h2", "__link"]
+        );
+    }
+
+    #[test]
+    fn unplanned_program_unchanged() {
+        let p = parse(SRC).expect("parse");
+        let q = apply_plan(&p, &TransformPlan::default()).expect("rewrite");
+        assert_eq!(
+            slo_ir::printer::print_program(&p),
+            slo_ir::printer::print_program(&q)
+        );
+    }
+
+    #[test]
+    fn cold_access_costs_an_extra_load() {
+        let p = parse(SRC).expect("parse");
+        let plan = split_plan(&p, "node", vec![0], vec![1, 2], vec![]);
+        let q = apply_plan(&p, &plan).expect("rewrite");
+        let before = run(&p, &VmOptions::default()).expect("run");
+        let after = run(&q, &VmOptions::default()).expect("run");
+        assert!(
+            after.stats.loads > before.stats.loads,
+            "cold accesses must add link loads: {} vs {}",
+            after.stats.loads,
+            before.stats.loads
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Instruction cycle cost model.
+//!
+//! Absolute numbers are Itanium-flavoured but deliberately simple: the
+//! reproduction cares about *relative* cycle counts before/after layout
+//! transformation, which are dominated by memory latency differences.
+
+/// Cycle costs charged by the interpreter in addition to cache latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Base cost of every instruction.
+    pub base: u64,
+    /// Extra cost of a call (frame setup, not counting the body).
+    pub call_overhead: u64,
+    /// Cost of a malloc/calloc/realloc call.
+    pub alloc_cost: u64,
+    /// Cost of a free call.
+    pub free_cost: u64,
+    /// Cycles to zero 8 bytes (calloc).
+    pub zero_per_8bytes: u64,
+    /// Stores pay `latency >> store_latency_shift` (store buffering hides
+    /// most of the latency).
+    pub store_latency_shift: u32,
+    /// Instrumentation cost per profiled edge (edge-counter update).
+    pub instrument_edge_cost: u64,
+    /// Multiplier numerator for memcpy/memset per-line costs.
+    pub memstream_per_line: u64,
+    /// Cost of a call to an external / libc function.
+    pub libc_call_cost: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base: 1,
+            call_overhead: 3,
+            alloc_cost: 40,
+            free_cost: 20,
+            zero_per_8bytes: 1,
+            store_latency_shift: 2,
+            instrument_edge_cost: 2,
+            memstream_per_line: 2,
+            libc_call_cost: 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = CostModel::default();
+        assert!(c.base >= 1);
+        assert!(c.alloc_cost > c.base);
+        assert!(c.store_latency_shift < 8);
+    }
+}

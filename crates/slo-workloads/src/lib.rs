@@ -1,0 +1,246 @@
+//! # slo-workloads — the paper's benchmark suite, modeled in IR
+//!
+//! One entry per Table 1 row of *"Practical Structure Layout Optimization
+//! and Advice"* (CGO 2006):
+//!
+//! * [`mcf`] — 181.mcf with the 15-field `node_t` of Table 2 (splitting),
+//! * [`art`] — 179.art's peelable FP array,
+//! * [`moldyn`] — the splitting workload with PBO/ISPBO divergence,
+//! * [`census`] — the nine open-source benchmarks whose role is their
+//!   record-type census (milc, cactusADM, gobmk, povray, calculix,
+//!   h264avc, lucille, sphinx, ssearch),
+//! * [`casestudy`] — the §3.4 SPEC2006 case studies,
+//! * [`kernel`] — the HP-UX-kernel-flavoured multi-threaded advisory
+//!   scenario (§3.4's read/write-count discussion).
+//!
+//! Every workload is a fully executable `slo-ir` program; the bench crate
+//! drives them through the pipeline and the VM to regenerate the paper's
+//! tables.
+
+#![warn(missing_docs)]
+
+pub mod art;
+pub mod casestudy;
+pub mod census;
+pub mod kernel;
+pub mod mcf;
+pub mod moldyn;
+
+use census::CensusSpec;
+use slo_ir::Program;
+
+/// Which input set a workload is built for (the paper's training vs
+/// reference distinction that separates PBO from PPBO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputSet {
+    /// The (smaller) training input used to collect profiles.
+    Training,
+    /// The reference input used for the final measurement.
+    Reference,
+}
+
+/// The paper's published numbers for one benchmark (for side-by-side
+/// reporting; values not printed in the paper are `None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Table 1: total record types.
+    pub types: usize,
+    /// Table 1: strictly legal types.
+    pub legal: usize,
+    /// Table 1: relax-legal types.
+    pub relax: usize,
+    /// Table 3: transformed types.
+    pub transformed: usize,
+    /// Table 3: performance impact with PBO (percent).
+    pub perf_pbo: Option<f64>,
+    /// Table 3: performance impact without PBO (percent).
+    pub perf_nopbo: Option<f64>,
+}
+
+/// A benchmark: name, program, and the paper's numbers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (the paper's spelling).
+    pub name: &'static str,
+    /// The executable program.
+    pub program: Program,
+    /// Published values for comparison.
+    pub paper: PaperRow,
+}
+
+/// Census specs for the nine census-only benchmarks (Table 1 rows).
+pub const CENSUS_SPECS: [CensusSpec; 9] = [
+    CensusSpec {
+        name: "milc",
+        types: 20,
+        legal: 5,
+        relax: 12,
+    },
+    CensusSpec {
+        name: "cactusADM",
+        types: 116,
+        legal: 13,
+        relax: 68,
+    },
+    CensusSpec {
+        name: "gobmk",
+        types: 59,
+        legal: 9,
+        relax: 45,
+    },
+    CensusSpec {
+        name: "povray",
+        types: 275,
+        legal: 14,
+        relax: 207,
+    },
+    CensusSpec {
+        name: "calculix",
+        types: 41,
+        legal: 3,
+        relax: 3,
+    },
+    CensusSpec {
+        name: "h264avc",
+        types: 42,
+        legal: 3,
+        relax: 25,
+    },
+    CensusSpec {
+        name: "lucille",
+        types: 97,
+        legal: 17,
+        relax: 86,
+    },
+    CensusSpec {
+        name: "sphinx",
+        types: 64,
+        legal: 4,
+        relax: 52,
+    },
+    CensusSpec {
+        name: "ssearch",
+        types: 10,
+        legal: 4,
+        relax: 5,
+    },
+];
+
+/// Build every workload of the suite (Table 1 / Table 3 order).
+pub fn all(input: InputSet) -> Vec<Workload> {
+    let mut out = Vec::with_capacity(12);
+    out.push(Workload {
+        name: "181.mcf",
+        program: mcf::build(input),
+        paper: PaperRow {
+            types: 5,
+            legal: 1,
+            relax: 3,
+            transformed: 1,
+            perf_pbo: Some(17.3),
+            perf_nopbo: Some(16.7),
+        },
+    });
+    out.push(Workload {
+        name: "179.art",
+        program: art::build(input),
+        paper: PaperRow {
+            types: 3,
+            legal: 2,
+            relax: 2,
+            transformed: 1,
+            perf_pbo: None,
+            perf_nopbo: Some(78.2),
+        },
+    });
+    for spec in &CENSUS_SPECS {
+        // small work scale keeps the census benchmarks cheap to execute
+        out.push(Workload {
+            name: spec.name,
+            program: census::generate(spec, 2),
+            paper: PaperRow {
+                types: spec.types,
+                legal: spec.legal,
+                relax: spec.relax,
+                transformed: 0,
+                perf_pbo: None,
+                perf_nopbo: Some(0.0),
+            },
+        });
+    }
+    out.push(Workload {
+        name: "moldyn",
+        program: moldyn::build(input),
+        paper: PaperRow {
+            types: 4,
+            legal: 1,
+            relax: 4,
+            transformed: 1,
+            perf_pbo: Some(30.9),
+            perf_nopbo: Some(21.8),
+        },
+    });
+    out
+}
+
+/// Build one workload by name (case-insensitive, paper spelling).
+pub fn by_name(name: &str, input: InputSet) -> Option<Workload> {
+    all(input)
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_benchmarks() {
+        let ws = all(InputSet::Training);
+        assert_eq!(ws.len(), 12);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert!(names.contains(&"181.mcf"));
+        assert!(names.contains(&"179.art"));
+        assert!(names.contains(&"moldyn"));
+        assert!(names.contains(&"povray"));
+    }
+
+    #[test]
+    fn census_specs_are_consistent() {
+        for s in &CENSUS_SPECS {
+            s.check();
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(by_name("181.MCF", InputSet::Training).is_some());
+        assert!(by_name("nope", InputSet::Training).is_none());
+    }
+
+    #[test]
+    fn all_programs_verify() {
+        for w in all(InputSet::Training) {
+            let errs = slo_ir::verify::verify(&w.program);
+            assert!(errs.is_empty(), "{}: {errs:?}", w.name);
+        }
+    }
+
+    #[test]
+    fn paper_rows_average_matches_table1() {
+        // Table 1's bottom row: 20.9% average legal, 65.7% average relax
+        let ws = all(InputSet::Training);
+        let avg_legal: f64 = ws
+            .iter()
+            .map(|w| w.paper.legal as f64 / w.paper.types as f64 * 100.0)
+            .sum::<f64>()
+            / ws.len() as f64;
+        let avg_relax: f64 = ws
+            .iter()
+            .map(|w| w.paper.relax as f64 / w.paper.types as f64 * 100.0)
+            .sum::<f64>()
+            / ws.len() as f64;
+        assert!((avg_legal - 20.9).abs() < 3.0, "avg legal {avg_legal}");
+        assert!((avg_relax - 65.7).abs() < 4.0, "avg relax {avg_relax}");
+    }
+}

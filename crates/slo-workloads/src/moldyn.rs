@@ -1,0 +1,421 @@
+//! moldyn model — the splitting showcase with second-order PBO effects.
+//!
+//! A molecular-dynamics kernel over an array of `particle` records:
+//!
+//! * **hot**: positions `x,y,z` (read in the force loop through a random
+//!   neighbour index) and forces `fx,fy,fz` (accumulated per pair);
+//! * **warm**: velocities `vx,vy,vz` (integrate loop only, ~11% relative
+//!   hotness — above both split thresholds);
+//! * **boundary bookkeeping** `bflag`, `bcount`: touched only under a
+//!   rarely-taken branch inside the integrate loop. A real profile sees
+//!   ~2% relative hotness (→ split under PBO's T_s = 3%), but the static
+//!   heuristics assume 50% branch probability (→ kept hot under ISPBO) —
+//!   this is what makes the PBO build faster than the non-PBO build
+//!   (Table 3's 30.9% vs 21.8% pattern);
+//! * **cold**: `id`, `box_id`, `flags`, `seed` — setup-only.
+//!
+//! Census: 4 types, 1 strictly legal, 4 relax-legal (Table 1's moldyn
+//! row) — `cellgrid` (CSTT), `vec3tmp` (CSTF) and `nbrhead` (ATKN) are
+//! all recoverable.
+
+use crate::InputSet;
+use slo_ir::{BinOp, CmpOp, Field, Operand, Program, ProgramBuilder, ScalarKind};
+
+/// Size parameters of the moldyn model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoldynConfig {
+    /// Number of particles.
+    pub n: i64,
+    /// Time steps.
+    pub steps: i64,
+    /// Neighbours per particle in the force loop.
+    pub neighbors: i64,
+}
+
+impl MoldynConfig {
+    /// Parameters for an input set.
+    pub fn for_input(input: InputSet) -> Self {
+        match input {
+            InputSet::Training => MoldynConfig {
+                n: 56_000,
+                steps: 8,
+                neighbors: 6,
+            },
+            InputSet::Reference => MoldynConfig {
+                n: 64_000,
+                steps: 10,
+                neighbors: 6,
+            },
+        }
+    }
+}
+
+/// The particle fields in declaration order.
+pub const PARTICLE_FIELDS: [&str; 15] = [
+    "x", "y", "z", "fx", "fy", "fz", "vx", "vy", "vz", "bflag", "bcount", "id", "box_id",
+    "flags", "seed",
+];
+
+/// Build the moldyn model for an input set.
+pub fn build(input: InputSet) -> Program {
+    build_config(MoldynConfig::for_input(input))
+}
+
+/// Build the moldyn model with explicit parameters.
+pub fn build_config(cfg: MoldynConfig) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.scalar(ScalarKind::I64);
+    let f64t = pb.scalar(ScalarKind::F64);
+    let void = pb.void();
+
+    let fields: Vec<Field> = PARTICLE_FIELDS
+        .iter()
+        .map(|n| {
+            if matches!(*n, "bflag" | "bcount" | "id" | "box_id" | "flags" | "seed") {
+                Field::new(*n, i64t)
+            } else {
+                Field::new(*n, f64t)
+            }
+        })
+        .collect();
+    let (part, part_ty) = pb.record("particle", fields);
+    let ppart = pb.ptr(part_ty);
+
+    let (cellgrid, cellgrid_ty) = pb.record(
+        "cellgrid",
+        vec![Field::new("head", i64t), Field::new("count", i64t)],
+    );
+    let pcell = pb.ptr(cellgrid_ty);
+    let (vec3, vec3_ty) = pb.record(
+        "vec3tmp",
+        vec![
+            Field::new("a", f64t),
+            Field::new("b", f64t),
+            Field::new("c", f64t),
+        ],
+    );
+    let pvec3 = pb.ptr(vec3_ty);
+    let (nbr, nbr_ty) = pb.record(
+        "nbrhead",
+        vec![Field::new("first", i64t), Field::new("len", i64t)],
+    );
+
+    let pf = |name: &str| -> u32 {
+        PARTICLE_FIELDS
+            .iter()
+            .position(|f| *f == name)
+            .expect("known particle field") as u32
+    };
+
+    // ---- init -------------------------------------------------------------
+    let init = pb.declare("md_init", vec![ppart, i64t], void);
+    pb.define(init, |fb| {
+        let parts = fb.param(0);
+        let n = fb.param(1);
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(parts, part_ty, i.into());
+            for f in ["x", "y", "z"] {
+                fb.store_field(e.into(), part, pf(f), Operand::float(1.0));
+            }
+            for f in ["fx", "fy", "fz", "vx", "vy", "vz"] {
+                fb.store_field(e.into(), part, pf(f), Operand::float(0.0));
+            }
+            fb.store_field(e.into(), part, pf("bflag"), Operand::int(0));
+            fb.store_field(e.into(), part, pf("bcount"), Operand::int(0));
+            fb.store_field(e.into(), part, pf("id"), i.into());
+            let b = fb.bin(BinOp::Rem, i.into(), Operand::int(64));
+            fb.store_field(e.into(), part, pf("box_id"), b.into());
+            fb.store_field(e.into(), part, pf("flags"), Operand::int(1));
+            fb.store_field(e.into(), part, pf("seed"), i.into());
+        });
+        // setup-only reads of the cold fields (so they are not dead)
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(parts, part_ty, i.into());
+            let id = fb.load_field(e.into(), part, pf("id"));
+            let bx = fb.load_field(e.into(), part, pf("box_id"));
+            let fl = fb.load_field(e.into(), part, pf("flags"));
+            let sd = fb.load_field(e.into(), part, pf("seed"));
+            let s1 = fb.add(id.into(), bx.into());
+            let s2 = fb.add(fl.into(), sd.into());
+            let s3 = fb.add(s1.into(), s2.into());
+            let c = fb.cmp(CmpOp::Lt, s3.into(), Operand::int(0));
+            fb.if_then(c.into(), |fb| {
+                fb.store_field(e.into(), part, pf("flags"), Operand::int(0));
+            });
+        });
+        fb.ret(None);
+    });
+
+    // ---- force loop ---------------------------------------------------------
+    let forces = pb.declare("md_forces", vec![ppart, i64t, i64t, i64t], void);
+    pb.define(forces, |fb| {
+        let parts = fb.param(0);
+        let n = fb.param(1);
+        let nbrs = fb.param(2);
+        let step = fb.param(3);
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(parts, part_ty, i.into());
+            let xi = fb.load_field(e.into(), part, pf("x"));
+            let yi = fb.load_field(e.into(), part, pf("y"));
+            let zi = fb.load_field(e.into(), part, pf("z"));
+            let fx0 = fb.load_field(e.into(), part, pf("fx"));
+            let acc = fb.fresh();
+            fb.assign(acc, fx0.into());
+            fb.count_loop(nbrs.into(), |fb, k| {
+                // pseudo-random neighbour, re-randomized every time step
+                let mixed = fb.mul(i.into(), Operand::int(2654435761));
+                let smix = fb.mul(step.into(), Operand::int(40_503));
+                let mixed1 = fb.add(mixed.into(), smix.into());
+                let mixed2 = fb.add(mixed1.into(), k.into());
+                let masked = fb.bin(BinOp::And, mixed2.into(), Operand::int(0x7fff_ffff));
+                let j = fb.bin(BinOp::Rem, masked.into(), n.into());
+                let ej = fb.index_addr(parts, part_ty, j.into());
+                let xj = fb.load_field(ej.into(), part, pf("x"));
+                let yj = fb.load_field(ej.into(), part, pf("y"));
+                let zj = fb.load_field(ej.into(), part, pf("z"));
+                let dx = fb.sub(xi.into(), xj.into());
+                let dy = fb.sub(yi.into(), yj.into());
+                let dz = fb.sub(zi.into(), zj.into());
+                let r1 = fb.mul(dx.into(), dx.into());
+                let r2 = fb.mul(dy.into(), dy.into());
+                let r3 = fb.mul(dz.into(), dz.into());
+                let s = fb.add(r1.into(), r2.into());
+                let s2 = fb.add(s.into(), r3.into());
+                let na = fb.add(acc.into(), s2.into());
+                fb.assign(acc, na.into());
+            });
+            fb.store_field(e.into(), part, pf("fx"), acc.into());
+            let fy = fb.load_field(e.into(), part, pf("fy"));
+            let nfy = fb.add(fy.into(), acc.into());
+            fb.store_field(e.into(), part, pf("fy"), nfy.into());
+            let fz = fb.load_field(e.into(), part, pf("fz"));
+            let nfz = fb.add(fz.into(), acc.into());
+            fb.store_field(e.into(), part, pf("fz"), nfz.into());
+        });
+        fb.ret(None);
+    });
+
+    // ---- boundary handler (called from a rare branch) -----------------------
+    // A separate function so its field references form their own affinity
+    // group weighted by the *call* frequency: real profiles make it cold,
+    // the 50% static branch heuristic keeps it hot (the PBO/ISPBO split
+    // divergence described in the module docs).
+    let boundary = pb.declare("md_boundary", vec![ppart], void);
+    pb.define(boundary, |fb| {
+        let e = fb.param(0);
+        let bf = fb.load_field(e.into(), part, pf("bflag"));
+        let nb = fb.bin(BinOp::Xor, bf.into(), Operand::int(1));
+        fb.store_field(e.into(), part, pf("bflag"), nb.into());
+        let bc = fb.load_field(e.into(), part, pf("bcount"));
+        let nbc = fb.add(bc.into(), Operand::int(1));
+        fb.store_field(e.into(), part, pf("bcount"), nbc.into());
+        fb.ret(None);
+    });
+
+    // ---- integrate loop -----------------------------------------------------
+    let integrate = pb.declare("md_integrate", vec![ppart, i64t], void);
+    pb.define(integrate, |fb| {
+        let parts = fb.param(0);
+        let n = fb.param(1);
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(parts, part_ty, i.into());
+            for (pos, vel, force) in [("x", "vx", "fx"), ("y", "vy", "fy"), ("z", "vz", "fz")] {
+                let v = fb.load_field(e.into(), part, pf(vel));
+                let f = fb.load_field(e.into(), part, pf(force));
+                let scaled = fb.mul(f.into(), Operand::float(0.0001));
+                let nv = fb.add(v.into(), scaled.into());
+                fb.store_field(e.into(), part, pf(vel), nv.into());
+                let p = fb.load_field(e.into(), part, pf(pos));
+                let np = fb.add(p.into(), nv.into());
+                fb.store_field(e.into(), part, pf(pos), np.into());
+            }
+            // rarely-taken boundary branch (~1.5% of particles): real
+            // profiles see the callee cold, the 50% static heuristic
+            // does not
+            let m = fb.bin(BinOp::Rem, i.into(), Operand::int(64));
+            let is_boundary = fb.cmp(CmpOp::Eq, m.into(), Operand::int(0));
+            fb.if_then(is_boundary.into(), |fb| {
+                fb.call_void(boundary, vec![e.into()]);
+            });
+        });
+        fb.ret(None);
+    });
+
+    // ---- the relax-recoverable types ---------------------------------------
+    let aux = pb.declare("md_aux", vec![], i64t);
+    pb.define(aux, |fb| {
+        // cellgrid: CSTT (int -> ptr cast)
+        let raw = fb.iconst(0x2000);
+        let cg = fb.cast(raw.into(), i64t, pcell);
+        let cells = fb.alloc(cellgrid_ty, Operand::int(64));
+        fb.store_field(cells.into(), cellgrid, 0, Operand::int(1));
+        fb.store_field(cells.into(), cellgrid, 1, Operand::int(2));
+        let h = fb.load_field(cells.into(), cellgrid, 0);
+        let c = fb.load_field(cells.into(), cellgrid, 1);
+        let eq = fb.cmp(CmpOp::Eq, cg.into(), cells.into());
+        // vec3tmp: CSTF
+        let v3 = fb.alloc(vec3_ty, Operand::int(8));
+        for f in 0..3 {
+            fb.store_field(v3.into(), vec3, f, Operand::float(0.5));
+        }
+        let a0 = fb.load_field(v3.into(), vec3, 0);
+        let a1 = fb.load_field(v3.into(), vec3, 1);
+        let a2 = fb.load_field(v3.into(), vec3, 2);
+        let castv_raw = fb.cast(v3.into(), pvec3, i64t);
+        // keep only an address-independent bit of the cast result so the
+        // checksum does not depend on heap layout
+        let castv = fb.cmp(CmpOp::Ne, castv_raw.into(), Operand::int(0));
+        // nbrhead: ATKN
+        let nb = fb.alloc(nbr_ty, Operand::int(16));
+        fb.store_field(nb.into(), nbr, 0, Operand::int(3));
+        fb.store_field(nb.into(), nbr, 1, Operand::int(4));
+        let fa = fb.field_addr(nb.into(), nbr, 0);
+        let moved = fb.add(fa.into(), Operand::int(8));
+        let peek = fb.load(moved.into(), i64t);
+        let l0 = fb.load_field(nb.into(), nbr, 0);
+        let l1 = fb.load_field(nb.into(), nbr, 1);
+        // combine everything so nothing is dead
+        let s0 = fb.add(h.into(), c.into());
+        let s1 = fb.add(s0.into(), eq.into());
+        let fsum1 = fb.add(a0.into(), a1.into());
+        let fsum2 = fb.add(fsum1.into(), a2.into());
+        let fint = fb.cast(fsum2.into(), f64t, i64t);
+        let s2 = fb.add(s1.into(), fint.into());
+        let s3 = fb.add(s2.into(), castv.into());
+        let s4 = fb.add(s3.into(), peek.into());
+        let s5 = fb.add(s4.into(), l0.into());
+        let s6 = fb.add(s5.into(), l1.into());
+        fb.free(cells.into());
+        fb.free(v3.into());
+        fb.free(nb.into());
+        fb.ret(Some(s6.into()));
+    });
+
+    // ---- main ----------------------------------------------------------------
+    let main = pb.declare("main", vec![], f64t);
+    pb.define(main, |fb| {
+        let n = fb.iconst(cfg.n);
+        let parts = fb.alloc(part_ty, n.into());
+        fb.call_void(init, vec![parts.into(), n.into()]);
+        let auxv = fb.call(aux, vec![]);
+        fb.count_loop(Operand::int(cfg.steps), |fb, st| {
+            fb.call_void(
+                forces,
+                vec![parts.into(), n.into(), Operand::int(cfg.neighbors), st.into()],
+            );
+            fb.call_void(integrate, vec![parts.into(), n.into()]);
+        });
+        // checksum
+        let sum = fb.fresh();
+        fb.assign(sum, Operand::float(0.0));
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(parts, part_ty, i.into());
+            let x = fb.load_field(e.into(), part, pf("x"));
+            let ns = fb.add(sum.into(), x.into());
+            fb.assign(sum, ns.into());
+        });
+        let total = fb.add(sum.into(), auxv.into());
+        fb.ret(Some(total.into()));
+    });
+
+    pb.finish()
+}
+
+/// Helper used by tests and the moldyn profile example: index of a
+/// particle field.
+pub fn particle_field(name: &str) -> u32 {
+    PARTICLE_FIELDS
+        .iter()
+        .position(|f| *f == name)
+        .expect("known particle field") as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_analysis::ipa::{analyze_program, LegalityConfig};
+    use slo_ir::verify::assert_valid;
+
+    fn small() -> Program {
+        // enough steps that the one-time init loop does not inflate the
+        // relative hotness of the boundary/cold fields
+        build_config(MoldynConfig {
+            n: 1_500,
+            steps: 12,
+            neighbors: 6,
+        })
+    }
+
+    #[test]
+    fn builds_and_verifies() {
+        let p = small();
+        assert_valid(&p);
+        assert_eq!(p.types.num_records(), 4);
+    }
+
+    #[test]
+    fn table1_census() {
+        let p = small();
+        let strict = analyze_program(&p, &LegalityConfig::default());
+        assert_eq!(strict.num_legal(), 1, "moldyn: 1 strictly legal type");
+        let particle = p.types.record_by_name("particle").expect("particle");
+        assert!(strict.verdict(particle).legal());
+        let relaxed = analyze_program(
+            &p,
+            &LegalityConfig {
+                relax_cast_addr: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(relaxed.num_legal(), 4, "moldyn: all 4 relax-legal");
+    }
+
+    #[test]
+    fn pbo_sees_boundary_fields_cold_ispbo_does_not() {
+        let p = small();
+        let out = slo_vm::run(&p, &slo_vm::VmOptions::profiling()).expect("run");
+        let particle = p.types.record_by_name("particle").expect("particle");
+        let pbo = slo_analysis::relative_hotness(
+            &p,
+            particle,
+            &slo_analysis::WeightScheme::Pbo(&out.feedback),
+        );
+        let ispbo =
+            slo_analysis::relative_hotness(&p, particle, &slo_analysis::WeightScheme::Ispbo);
+        let bflag = particle_field("bflag") as usize;
+        assert!(
+            pbo[bflag] < 3.0,
+            "real profile sees boundary fields cold: {}",
+            pbo[bflag]
+        );
+        assert!(
+            ispbo[bflag] > 7.5,
+            "static heuristics overestimate the branch: {}",
+            ispbo[bflag]
+        );
+    }
+
+    #[test]
+    fn cold_fields_are_cold_under_both() {
+        let p = small();
+        let out = slo_vm::run(&p, &slo_vm::VmOptions::profiling()).expect("run");
+        let particle = p.types.record_by_name("particle").expect("particle");
+        for scheme in [
+            slo_analysis::WeightScheme::Pbo(&out.feedback),
+            slo_analysis::WeightScheme::Ispbo,
+        ] {
+            let rel = slo_analysis::relative_hotness(&p, particle, &scheme);
+            for f in ["id", "box_id", "flags", "seed"] {
+                let v = rel[particle_field(f) as usize];
+                assert!(
+                    v < 7.5,
+                    "{} must be cold under {}: {v}",
+                    f,
+                    scheme.name()
+                );
+            }
+            // positions stay hot
+            assert!(rel[particle_field("x") as usize] > 50.0);
+        }
+    }
+}

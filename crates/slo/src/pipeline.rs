@@ -1,0 +1,286 @@
+//! The SYZYGY-style compilation pipeline: FE → IPA → BE.
+//!
+//! Mirrors the paper's phase structure (§2):
+//!
+//! * **FE** (per compilation unit, parallelizable): legality tests,
+//!   attribute collection, affinity-group/read-write-count annotations.
+//! * **IPA** (monolithic): summary aggregation, type-escape analysis,
+//!   profitability analysis (affinity graphs + hotness under the chosen
+//!   weighting scheme), heuristics → a [`TransformPlan`].
+//! * **BE** (parallelizable): the actual rewrites.
+//!
+//! Each phase is timed so the §2.5 compile-time overhead experiment can
+//! be regenerated.
+
+use slo_analysis::affinity::{build_affinity_graphs, build_field_counts, AffinityGraph, FieldCounts};
+use slo_analysis::dcache::FieldDcache;
+use slo_analysis::ipa::{aggregate, IpaResult, LegalityConfig};
+use slo_analysis::legality::analyze_all_units;
+use slo_analysis::schemes::{block_frequencies, WeightScheme};
+use slo_ir::{Program, RecordId};
+use slo_transform::{apply_plan, decide, HeuristicsConfig, RewriteError, TransformPlan};
+use slo_vm::Feedback;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Legality configuration (relaxation flag, SMAL threshold).
+    pub legality: LegalityConfig,
+    /// Heuristic knobs; `None` derives the paper's defaults from the
+    /// scheme (T_s = 3% for PBO/PPBO, 7.5% otherwise).
+    pub heuristics: Option<HeuristicsConfig>,
+    /// Attribute d-cache samples (needs a feedback with samples).
+    pub attribute_dcache: bool,
+}
+
+/// Wall-clock time spent per phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// FE legality + annotation collection.
+    pub fe: Duration,
+    /// IPA aggregation + profitability + heuristics.
+    pub ipa: Duration,
+    /// BE rewriting.
+    pub be: Duration,
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The transformed program.
+    pub program: Program,
+    /// The plan IPA handed to the BE.
+    pub plan: TransformPlan,
+    /// Legality verdicts.
+    pub ipa: IpaResult,
+    /// Affinity graphs under the chosen scheme.
+    pub graphs: HashMap<RecordId, AffinityGraph>,
+    /// Read/write counts.
+    pub counts: HashMap<(RecordId, u32), FieldCounts>,
+    /// Attributed d-cache samples, when requested and available.
+    pub dcache: Option<HashMap<(RecordId, u32), FieldDcache>>,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+/// Run the full pipeline over `prog` under `scheme`.
+///
+/// # Errors
+///
+/// Propagates [`RewriteError`] from the BE.
+pub fn compile(
+    prog: &Program,
+    scheme: &WeightScheme<'_>,
+    cfg: &PipelineConfig,
+) -> Result<CompileResult, RewriteError> {
+    // --- FE -----------------------------------------------------------
+    let t0 = Instant::now();
+    let summaries = analyze_all_units(prog);
+    let freqs = block_frequencies(prog, scheme);
+    let fe = t0.elapsed();
+
+    // --- IPA ----------------------------------------------------------
+    let t1 = Instant::now();
+    let ipa = aggregate(prog, &summaries, &cfg.legality);
+    let graphs = build_affinity_graphs(prog, &freqs);
+    let counts = build_field_counts(prog, &freqs);
+    let heuristics = cfg.heuristics.unwrap_or_else(|| match scheme {
+        WeightScheme::Pbo(_) | WeightScheme::Ppbo(_) => HeuristicsConfig::pbo(),
+        _ => HeuristicsConfig::ispbo(),
+    });
+    let plan = decide(prog, &ipa, &graphs, &counts, &heuristics);
+    let dcache = if cfg.attribute_dcache {
+        match scheme {
+            WeightScheme::Pbo(fb) | WeightScheme::Ppbo(fb) => {
+                Some(slo_analysis::dcache::attribute_samples(prog, fb))
+            }
+            _ => None,
+        }
+    } else {
+        None
+    };
+    let ipa_time = t1.elapsed();
+
+    // --- BE -----------------------------------------------------------
+    let t2 = Instant::now();
+    let program = apply_plan(prog, &plan)?;
+    let be = t2.elapsed();
+
+    Ok(CompileResult {
+        program,
+        plan,
+        ipa,
+        graphs,
+        counts,
+        dcache,
+        timings: PhaseTimings {
+            fe,
+            ipa: ipa_time,
+            be,
+        },
+    })
+}
+
+/// The PBO collection phase: run the instrumented program on the training
+/// input (the program itself encodes its input; callers model training vs
+/// reference inputs by building different programs) and return the
+/// feedback file.
+///
+/// # Errors
+///
+/// Propagates VM execution errors.
+pub fn collect_profile(prog: &Program) -> Result<Feedback, slo_vm::ExecError> {
+    let out = slo_vm::run(prog, &slo_vm::VmOptions::profiling())?;
+    Ok(out.feedback)
+}
+
+/// Before/after performance comparison on the simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluation {
+    /// Cycles of the untransformed program.
+    pub baseline_cycles: u64,
+    /// Cycles of the transformed program.
+    pub optimized_cycles: u64,
+}
+
+impl Evaluation {
+    /// Speedup in percent, the paper's Table 3 presentation
+    /// (positive = faster after transformation).
+    pub fn speedup_percent(&self) -> f64 {
+        if self.optimized_cycles == 0 {
+            return 0.0;
+        }
+        (self.baseline_cycles as f64 / self.optimized_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+/// Run both versions on the simulated machine and compare cycle counts.
+///
+/// # Errors
+///
+/// Propagates VM execution errors; also fails if the two programs do not
+/// compute the same result (a transformation-correctness guard).
+pub fn evaluate(
+    baseline: &Program,
+    optimized: &Program,
+    opts: &slo_vm::VmOptions,
+) -> Result<Evaluation, slo_vm::ExecError> {
+    let b = slo_vm::run(baseline, opts)?;
+    let o = slo_vm::run(optimized, opts)?;
+    assert_eq!(
+        b.exit, o.exit,
+        "transformed program changed the computed result"
+    );
+    Ok(Evaluation {
+        baseline_cycles: b.stats.cycles,
+        optimized_cycles: o.stats.cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::parser::parse;
+    use slo_ir::verify::assert_valid;
+
+    // a peelable type plus an illegal one
+    const SRC: &str = r#"
+record elem { w: f64, t: f64 }
+record bad  { x: i64 }
+global P: ptr<elem>
+func main() -> f64 {
+bb0:
+  r20 = alloc bad, 10
+  r21 = cast r20 : ptr<bad> -> i64
+  r0 = alloc elem, 1000
+  gstore r0, P
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 1000
+  br r2, bb2, bb3
+bb2:
+  r3 = gload P
+  r4 = indexaddr r3, elem, r1
+  r5 = fieldaddr r4, elem.w
+  store 1.0, r5 : f64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r6 = gload P
+  r7 = indexaddr r6, elem, 500
+  r8 = fieldaddr r7, elem.w
+  r9 = load r8 : f64
+  ret r9
+}
+"#;
+
+    #[test]
+    fn end_to_end_compile() {
+        let p = parse(SRC).expect("parse");
+        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
+            .expect("compile");
+        assert_valid(&res.program);
+        assert_eq!(res.plan.num_transformed(), 1);
+        let elem = p.types.record_by_name("elem").expect("elem");
+        assert!(res.plan.of(elem).is_some());
+        let bad = p.types.record_by_name("bad").expect("bad");
+        assert!(!res.plan.of(bad).is_some());
+    }
+
+    #[test]
+    fn evaluation_guards_semantics() {
+        let p = parse(SRC).expect("parse");
+        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
+            .expect("compile");
+        let eval =
+            evaluate(&p, &res.program, &slo_vm::VmOptions::default()).expect("evaluate");
+        assert!(eval.baseline_cycles > 0);
+        assert!(eval.optimized_cycles > 0);
+    }
+
+    #[test]
+    fn pbo_collection_and_use() {
+        let p = parse(SRC).expect("parse");
+        let fb = collect_profile(&p).expect("collect");
+        assert!(fb.func("main").is_some());
+        let res = compile(
+            &p,
+            &WeightScheme::Pbo(&fb),
+            &PipelineConfig {
+                attribute_dcache: true,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert!(res.dcache.is_some());
+        assert_valid(&res.program);
+    }
+
+    #[test]
+    fn timings_populated() {
+        let p = parse(SRC).expect("parse");
+        let res = compile(&p, &WeightScheme::Spbo, &PipelineConfig::default())
+            .expect("compile");
+        // sanity: phases took measurable (>= 0) time and the struct is
+        // plumbed; no absolute expectations
+        let t = res.timings;
+        assert!(t.fe.as_nanos() + t.ipa.as_nanos() + t.be.as_nanos() > 0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let e = Evaluation {
+            baseline_cycles: 1500,
+            optimized_cycles: 1000,
+        };
+        assert!((e.speedup_percent() - 50.0).abs() < 1e-9);
+        let e = Evaluation {
+            baseline_cycles: 900,
+            optimized_cycles: 1000,
+        };
+        assert!(e.speedup_percent() < 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Quickstart: the Figure 1 story end-to-end.
+//!
+//! Builds a small program over an array of records with interleaved hot
+//! and cold fields, runs the full pipeline, and shows (a) the layout
+//! before and after, (b) the performance effect on the simulated machine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use slo::analysis::WeightScheme;
+use slo::pipeline::{compile, evaluate, PipelineConfig};
+use slo::vm::VmOptions;
+use slo_ir::parser::parse;
+use slo_ir::printer::print_program;
+
+const SRC: &str = r#"
+// Figure 1 (a): an array of records with interleaved hot and cold fields.
+record item { hot1: i64, cold1: i64, hot2: i64, cold2: i64, cold3: i64 }
+
+func traverse(ptr<item>, i64, i64) -> i64 {
+bb0:
+  r3 = 0
+  r4 = 0
+  jump bb1
+bb1:
+  r5 = cmp.lt r4, r1
+  br r5, bb2, bb3
+bb2:
+  r6 = mul r4, 2654435761
+  r7 = add r6, r2
+  r8 = and r7, 2147483647
+  r9 = rem r8, r1
+  r10 = indexaddr r0, item, r9
+  r11 = fieldaddr r10, item.hot1
+  r12 = load r11 : i64
+  r13 = fieldaddr r10, item.hot2
+  r14 = load r13 : i64
+  r15 = add r12, r14
+  r3 = add r3, r15
+  r4 = add r4, 1
+  jump bb1
+bb3:
+  ret r3
+}
+
+func main() -> i64 {
+bb0:
+  r0 = 120000
+  r1 = alloc item, r0
+  r2 = 0
+  jump bb1
+bb1:
+  r3 = cmp.lt r2, r0
+  br r3, bb2, bb3
+bb2:
+  r4 = indexaddr r1, item, r2
+  r5 = fieldaddr r4, item.hot1
+  store r2, r5 : i64
+  r6 = fieldaddr r4, item.hot2
+  store 1, r6 : i64
+  r7 = fieldaddr r4, item.cold1
+  store 2, r7 : i64
+  r8 = fieldaddr r4, item.cold2
+  store 3, r8 : i64
+  r9 = fieldaddr r4, item.cold3
+  store 4, r9 : i64
+  r2 = add r2, 1
+  jump bb1
+bb3:
+  r10 = fieldaddr r1, item.cold1
+  r11 = load r10 : i64
+  r12 = fieldaddr r1, item.cold2
+  r13 = load r12 : i64
+  r14 = fieldaddr r1, item.cold3
+  r15 = load r14 : i64
+  r16 = 0
+  r17 = 0
+  jump bb4
+bb4:
+  r18 = cmp.lt r17, 30
+  br r18, bb5, bb6
+bb5:
+  r19 = call traverse(r1, r0, r17)
+  r16 = add r16, r19
+  r17 = add r17, 1
+  jump bb4
+bb6:
+  r20 = add r16, r11
+  r21 = add r20, r13
+  r22 = add r21, r15
+  free r1
+  ret r22
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = parse(SRC)?;
+
+    println!("== before (Figure 1 (a)) ==");
+    let item = prog.types.record_by_name("item").expect("item type");
+    let layout = prog.types.layout_of(item);
+    println!(
+        "record item: {} fields, {} bytes, offsets {:?}\n",
+        prog.types.record(item).fields.len(),
+        layout.size,
+        layout.offsets
+    );
+
+    // full pipeline under the non-profile heuristics
+    let result = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())?;
+    println!("plan: {:?}\n", result.plan.of(item));
+
+    println!("== after (Figure 1 (b)) ==");
+    let after = &result.program;
+    let root = after.types.record_by_name("item").expect("item survives");
+    let layout = after.types.layout_of(root);
+    println!(
+        "record item (root): fields {:?}, {} bytes",
+        after
+            .types
+            .record(root)
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect::<Vec<_>>(),
+        layout.size
+    );
+    if let Some(cold) = after.types.record_by_name("item_cold") {
+        println!(
+            "record item_cold:   fields {:?}, {} bytes",
+            after
+                .types
+                .record(cold)
+                .fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>(),
+            after.types.layout_of(cold).size
+        );
+    }
+    println!();
+
+    let eval = evaluate(&prog, after, &VmOptions::default())?;
+    println!(
+        "cycles: {} -> {}  ({:+.1}%)",
+        eval.baseline_cycles,
+        eval.optimized_cycles,
+        eval.speedup_percent()
+    );
+
+    // show a snippet of the rewritten IR (the link-pointer init loop)
+    let text = print_program(after);
+    let main_start = text.find("func main").expect("main printed");
+    println!("\n== rewritten main (excerpt) ==");
+    for line in text[main_start..].lines().take(24) {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the SLO reproduction workspace. Re-exports the
+//! member crates so integration tests and examples have one import root.
+
+pub use slo_advisor as advisor;
+pub use slo_analysis as analysis;
+pub use slo_ir as ir;
+pub use slo_transform as transform;
+pub use slo_vm as vm;
+pub use slo_workloads as workloads;

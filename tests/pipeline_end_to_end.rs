@@ -1,0 +1,120 @@
+//! End-to-end pipeline tests over the whole workload suite: every
+//! benchmark compiles under every scheme, the transformed program
+//! verifies, and executing it produces the same result as the baseline.
+
+use slo::analysis::WeightScheme;
+use slo::pipeline::{collect_profile, compile, PipelineConfig};
+use slo::vm::VmOptions;
+use slo_ir::verify::assert_valid;
+use slo_workloads::{art, census, mcf, moldyn};
+
+fn small_suite() -> Vec<(&'static str, slo_ir::Program)> {
+    vec![
+        (
+            "mcf",
+            mcf::build_config(mcf::McfConfig { n: 700, iters: 20, skew: 0,}),
+        ),
+        (
+            "art",
+            art::build_config(art::ArtConfig {
+                n: 3_000,
+                passes: 3,
+            }),
+        ),
+        (
+            "moldyn",
+            moldyn::build_config(moldyn::MoldynConfig {
+                n: 1_200,
+                steps: 6,
+                neighbors: 4,
+            }),
+        ),
+        (
+            "census",
+            census::generate(
+                &census::CensusSpec {
+                    name: "mini",
+                    types: 12,
+                    legal: 3,
+                    relax: 7,
+                },
+                1,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn every_workload_compiles_and_preserves_results_under_every_scheme() {
+    for (name, prog) in small_suite() {
+        let baseline = slo::vm::run(&prog, &VmOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: baseline run failed: {e}"));
+        let fb = collect_profile(&prog).unwrap_or_else(|e| panic!("{name}: profile: {e}"));
+        for scheme in [
+            WeightScheme::Pbo(&fb),
+            WeightScheme::Spbo,
+            WeightScheme::Ispbo,
+            WeightScheme::IspboNo,
+            WeightScheme::IspboW,
+        ] {
+            let res = compile(&prog, &scheme, &PipelineConfig::default())
+                .unwrap_or_else(|e| panic!("{name}/{}: compile: {e}", scheme.name()));
+            assert_valid(&res.program);
+            let out = slo::vm::run(&res.program, &VmOptions::default())
+                .unwrap_or_else(|e| panic!("{name}/{}: run: {e}", scheme.name()));
+            assert_eq!(
+                out.exit,
+                baseline.exit,
+                "{name}/{}: result changed",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transformed_programs_roundtrip_through_text() {
+    // the BE output is printable and reparsable (tooling-grade IR)
+    for (name, prog) in small_suite() {
+        let res = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        let text = slo_ir::printer::print_program(&res.program);
+        let back = slo_ir::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        assert_valid(&back);
+        let a = slo::vm::run(&res.program, &VmOptions::default()).expect("transformed runs");
+        let b = slo::vm::run(&back, &VmOptions::default()).expect("reparsed runs");
+        assert_eq!(a.exit, b.exit, "{name}: reparse changed behaviour");
+    }
+}
+
+#[test]
+fn disabling_transformations_yields_identity() {
+    let prog = mcf::build_config(mcf::McfConfig { n: 500, iters: 10, skew: 0,});
+    let cfg = PipelineConfig {
+        heuristics: Some(slo_transform::HeuristicsConfig {
+            enable_peel: false,
+            enable_split: false,
+            enable_dead_removal: false,
+            ..slo_transform::HeuristicsConfig::ispbo()
+        }),
+        ..Default::default()
+    };
+    let res = compile(&prog, &WeightScheme::Ispbo, &cfg).expect("compile");
+    assert_eq!(res.plan.num_transformed(), 0);
+    assert_eq!(
+        slo_ir::printer::print_program(&prog),
+        slo_ir::printer::print_program(&res.program),
+        "no plan means no change"
+    );
+}
+
+#[test]
+fn phase_timings_are_recorded() {
+    let prog = mcf::build_config(mcf::McfConfig { n: 500, iters: 10, skew: 0,});
+    let res = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())
+        .expect("compile");
+    let t = res.timings;
+    assert!(t.fe.as_nanos() > 0, "FE must take measurable time");
+    assert!(t.ipa.as_nanos() > 0, "IPA must take measurable time");
+}

@@ -1,0 +1,180 @@
+//! Property-based semantic-preservation tests for the BE transformations:
+//! for randomly generated programs over a record type, splitting (any
+//! hot/cold partition), reordering (any permutation) and dead-field
+//! removal must not change the computed result.
+
+use proptest::prelude::*;
+use slo_ir::{CmpOp, Field, Operand, Program, ProgramBuilder, ScalarKind};
+use slo_transform::{apply_plan, reorder_fields, TransformPlan, TypeTransform};
+use slo_vm::{run, Value, VmOptions};
+
+/// A randomly generated access script over one record array.
+#[derive(Debug, Clone)]
+struct Script {
+    nfields: usize,
+    array_len: i64,
+    /// (field, multiplier) store/load rounds
+    rounds: Vec<(usize, i64)>,
+    /// which fields the final checksum reads
+    checksum_fields: Vec<usize>,
+}
+
+fn script_strategy() -> impl Strategy<Value = Script> {
+    (3usize..8, 2i64..40).prop_flat_map(|(nfields, array_len)| {
+        (
+            prop::collection::vec((0..nfields, 1i64..100), 1..12),
+            prop::collection::vec(0..nfields, 1..4),
+        )
+            .prop_map(move |(rounds, checksum_fields)| Script {
+                nfields,
+                array_len,
+                rounds,
+                checksum_fields,
+            })
+    })
+}
+
+/// Build an executable program from a script.
+fn build_program(s: &Script) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.scalar(ScalarKind::I64);
+    let fields: Vec<Field> = (0..s.nfields)
+        .map(|i| Field::new(format!("f{i}"), i64t))
+        .collect();
+    let (rid, rty) = pb.record("t", fields);
+    let main = pb.declare("main", vec![], i64t);
+    pb.define(main, |fb| {
+        let n = fb.iconst(s.array_len);
+        let arr = fb.alloc(rty, n.into());
+        // init every field so loads are defined
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(arr, rty, i.into());
+            for f in 0..s.nfields as u32 {
+                fb.store_field(e.into(), rid, f, i.into());
+            }
+        });
+        // the random rounds
+        for &(f, mult) in &s.rounds {
+            fb.count_loop(n.into(), |fb, i| {
+                let e = fb.index_addr(arr, rty, i.into());
+                let v = fb.load_field(e.into(), rid, f as u32);
+                let nv = fb.mul(v.into(), Operand::int(mult));
+                let masked = fb.bin(slo_ir::BinOp::And, nv.into(), Operand::int(0xffff));
+                fb.store_field(e.into(), rid, f as u32, masked.into());
+                let c = fb.cmp(CmpOp::Gt, masked.into(), Operand::int(1 << 14));
+                fb.if_then(c.into(), |fb| {
+                    fb.store_field(e.into(), rid, f as u32, Operand::int(7));
+                });
+            });
+        }
+        // checksum
+        let sum = fb.fresh();
+        fb.assign(sum, Operand::int(0));
+        fb.count_loop(n.into(), |fb, i| {
+            let e = fb.index_addr(arr, rty, i.into());
+            for &f in &s.checksum_fields {
+                let v = fb.load_field(e.into(), rid, f as u32);
+                let ns = fb.add(sum.into(), v.into());
+                fb.assign(sum, ns.into());
+            }
+        });
+        fb.free(arr.into());
+        fb.ret(Some(sum.into()));
+    });
+    pb.finish()
+}
+
+fn result_of(p: &Program) -> Value {
+    run(p, &VmOptions::default()).expect("program runs").exit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn split_preserves_results(s in script_strategy(), split_mask in 0u32..255) {
+        let p = build_program(&s);
+        let baseline = result_of(&p);
+
+        // partition the fields by the mask; both sides must be non-empty
+        let rid = p.types.record_by_name("t").expect("t");
+        let mut hot = Vec::new();
+        let mut cold = Vec::new();
+        for f in 0..s.nfields as u32 {
+            if split_mask & (1 << f) != 0 {
+                cold.push(f);
+            } else {
+                hot.push(f);
+            }
+        }
+        prop_assume!(!hot.is_empty() && cold.len() >= 2);
+
+        let mut plan = TransformPlan::default();
+        plan.types.insert(rid, TypeTransform::Split { hot_order: hot, cold, dead: vec![] });
+        let q = apply_plan(&p, &plan).expect("split applies");
+        slo_ir::verify::assert_valid(&q);
+        prop_assert_eq!(result_of(&q), baseline);
+    }
+
+    #[test]
+    fn reorder_preserves_results(s in script_strategy(), seed in 0u64..u64::MAX) {
+        let p = build_program(&s);
+        let baseline = result_of(&p);
+        let rid = p.types.record_by_name("t").expect("t");
+
+        // derive a permutation from the seed (Fisher–Yates with an LCG)
+        let mut order: Vec<u32> = (0..s.nfields as u32).collect();
+        let mut x = seed | 1;
+        for i in (1..order.len()).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (x >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+
+        let q = reorder_fields(&p, rid, &order).expect("reorder applies");
+        slo_ir::verify::assert_valid(&q);
+        prop_assert_eq!(result_of(&q), baseline);
+    }
+
+    #[test]
+    fn split_then_reorder_compose(s in script_strategy()) {
+        let p = build_program(&s);
+        let baseline = result_of(&p);
+        let rid = p.types.record_by_name("t").expect("t");
+        // reorder first (reverse), then split out the last two fields
+        let order: Vec<u32> = (0..s.nfields as u32).rev().collect();
+        let q = reorder_fields(&p, rid, &order).expect("reorder");
+        let n = s.nfields as u32;
+        let mut plan = TransformPlan::default();
+        plan.types.insert(rid, TypeTransform::Split {
+            hot_order: (0..n - 2).collect(),
+            cold: vec![n - 2, n - 1],
+            dead: vec![],
+        });
+        let r = apply_plan(&q, &plan).expect("split applies");
+        slo_ir::verify::assert_valid(&r);
+        prop_assert_eq!(result_of(&r), baseline);
+    }
+}
+
+#[test]
+fn dead_removal_preserves_live_results() {
+    // deterministic instance: one field never read
+    let s = Script {
+        nfields: 4,
+        array_len: 10,
+        rounds: vec![(0, 3), (1, 5)],
+        checksum_fields: vec![0, 1],
+    };
+    let p = build_program(&s);
+    let baseline = result_of(&p);
+    let rid = p.types.record_by_name("t").expect("t");
+    // fields 2 and 3 are written by init but never read
+    let mut plan = TransformPlan::default();
+    plan.types
+        .insert(rid, TypeTransform::RemoveDead { dead: vec![2, 3] });
+    let q = apply_plan(&p, &plan).expect("removal applies");
+    slo_ir::verify::assert_valid(&q);
+    assert_eq!(result_of(&q), baseline);
+    assert_eq!(q.types.record(rid).fields.len(), 2);
+}
