@@ -1,0 +1,105 @@
+//! VM hot-loop throughput: pre-decoded engine vs the structured
+//! reference interpreter, on the two workloads the paper's headline
+//! numbers come from (181.mcf and 179.art).
+//!
+//! Throughput is reported in simulated instructions per host second —
+//! the substrate's own figure of merit. The decoded numbers amortize the
+//! decode pass by pre-building the [`DecodedProgram`] once, which is how
+//! every repeated-execution consumer (the tables, `evaluate`) uses it.
+//!
+//! After the Criterion runs, a short manual timing pass records the
+//! current decoded/structured instructions-per-second datapoint in
+//! `BENCH_vm.json` (under `hot_loop`), so the engine's speed is tracked
+//! across PRs like any other benchmark.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use slo_ir::Program;
+use slo_vm::{run, run_decoded, DecodedProgram, VmOptions};
+use std::hint::black_box;
+
+/// Mid-sized configs: a few million simulated instructions per run, so
+/// one Criterion sample holds several full executions.
+fn workloads() -> Vec<(&'static str, Program)> {
+    vec![
+        (
+            "mcf",
+            slo_workloads::mcf::build_config(slo_workloads::mcf::McfConfig {
+                n: 10_000,
+                iters: 10,
+                skew: 0,
+            }),
+        ),
+        (
+            "art",
+            slo_workloads::art::build_config(slo_workloads::art::ArtConfig {
+                n: 100_000,
+                passes: 4,
+            }),
+        ),
+    ]
+}
+
+fn bench_hot_loop(c: &mut Criterion) {
+    for (name, prog) in workloads() {
+        let dec = DecodedProgram::new(&prog);
+        let opts = VmOptions::plain();
+        let instrs = run_decoded(&prog, &dec, &opts)
+            .expect("reference run")
+            .stats
+            .instructions;
+
+        let mut g = c.benchmark_group(format!("hot_loop/{name}"));
+        g.throughput(Throughput::Elements(instrs));
+        g.bench_function("decoded", |b| {
+            b.iter(|| black_box(run_decoded(&prog, &dec, &opts).expect("decoded run")))
+        });
+        g.bench_function("structured", |b| {
+            let sopts = opts.clone().structured();
+            b.iter(|| black_box(run(&prog, &sopts).expect("structured run")))
+        });
+        g.finish();
+    }
+}
+
+/// Best-of-3 simulated instructions per host second.
+fn instr_per_sec(mut run_once: impl FnMut() -> u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let instrs = run_once();
+        let secs = t.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            best = best.max(instrs as f64 / secs);
+        }
+    }
+    best
+}
+
+fn record_trajectory() {
+    for (name, prog) in workloads() {
+        let dec = DecodedProgram::new(&prog);
+        let opts = VmOptions::plain();
+        let d = instr_per_sec(|| {
+            run_decoded(&prog, &dec, &opts)
+                .expect("decoded run")
+                .stats
+                .instructions
+        });
+        let sopts = opts.clone().structured();
+        let s = instr_per_sec(|| {
+            run(&prog, &sopts)
+                .expect("structured run")
+                .stats
+                .instructions
+        });
+        bench::report::record_hot_loop(name, d, s);
+    }
+}
+
+criterion_group!(benches, bench_hot_loop);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    record_trajectory();
+}

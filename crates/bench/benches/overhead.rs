@@ -12,7 +12,11 @@ use slo_workloads::mcf::{build_config, McfConfig};
 
 fn programs() -> slo_ir::Program {
     // small instance: phase cost scales with IR size, not run length
-    build_config(McfConfig { n: 200, iters: 4, skew: 0,})
+    build_config(McfConfig {
+        n: 200,
+        iters: 4,
+        skew: 0,
+    })
 }
 
 fn bench_fe_legality(c: &mut Criterion) {
@@ -48,8 +52,7 @@ fn bench_whole_pipeline(c: &mut Criterion) {
     c.bench_function("pipeline_compile_ispbo", |b| {
         b.iter(|| {
             std::hint::black_box(
-                compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
-                    .expect("pipeline"),
+                compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("pipeline"),
             )
         })
     });

@@ -91,5 +91,11 @@ fn bench_loops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache_sim, bench_interpreter, bench_parser, bench_loops);
+criterion_group!(
+    benches,
+    bench_cache_sim,
+    bench_interpreter,
+    bench_parser,
+    bench_loops
+);
 criterion_main!(benches);

@@ -8,6 +8,11 @@
 //!    relaxation, across the full benchmark suite (extends Table 1 with
 //!    the sharper analysis the paper sketches).
 //!
+//! Every sweep point is an independent pipeline+VM measurement, so each
+//! study fans out over all cores (`bench::par::par_map`) and prints its
+//! rows in order afterwards. `--json` records the combined wall time and
+//! simulated-instruction throughput in `BENCH_vm.json`.
+//!
 //! ```text
 //! ablation            # all three studies
 //! ablation ts         # only the threshold sweep
@@ -15,18 +20,35 @@
 //! ablation legality   # only the legality-mode comparison
 //! ```
 
+use bench::par::par_map;
+use bench::report::{json_flag, record_table, TableStats};
 use slo::analysis::{
     analyze_program, correlation, relative_hotness, IspboConfig, LegalityConfig, WeightScheme,
 };
-use slo::pipeline::{compile, evaluate, PipelineConfig};
+use slo::pipeline::{compile, evaluate, Evaluation, PipelineConfig};
 use slo::vm::VmOptions;
 use slo_transform::HeuristicsConfig;
 use slo_workloads::{all, mcf, InputSet};
 
+/// Simulated (instructions, cycles) one study executed, for `--json`.
+type SimWork = (u64, u64);
+
+fn sim(e: &Evaluation) -> SimWork {
+    (
+        e.baseline_instructions + e.optimized_instructions,
+        e.baseline_cycles + e.optimized_cycles,
+    )
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = json_flag(&mut args);
+    let t0 = std::time::Instant::now();
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
+
+    let mut work: Vec<SimWork> = Vec::new();
     if matches!(which.as_str(), "all" | "ts") {
-        threshold_sweep();
+        work.push(threshold_sweep());
     }
     if matches!(which.as_str(), "all" | "exponent") {
         exponent_sweep();
@@ -35,19 +57,31 @@ fn main() {
         legality_modes();
     }
     if matches!(which.as_str(), "all" | "interleave") {
-        interleave_vs_peel();
+        work.push(interleave_vs_peel());
+    }
+
+    if json {
+        record_table(
+            "ablation",
+            TableStats {
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                instructions: work.iter().map(|w| w.0).sum(),
+                cycles: work.iter().map(|w| w.1).sum(),
+            },
+        );
     }
 }
 
 /// §2.1's alternative implementation: instance interleaving (one
 /// allocation, field regions) against separate-array peeling on art.
-fn interleave_vs_peel() {
+fn interleave_vs_peel() -> SimWork {
     println!("== ablation: peeling vs instance interleaving (art) ==");
     let prog = slo_workloads::art::build_config(slo_workloads::art::ArtConfig {
         n: 100_000,
         passes: 12,
     });
-    for (label, prefer) in [("peel (separate)", false), ("interleave", true)] {
+    let configs = [("peel (separate)", false), ("interleave", true)];
+    let evals = par_map(&configs, |&(_, prefer)| {
         let cfg = PipelineConfig {
             heuristics: Some(HeuristicsConfig {
                 prefer_interleave: prefer,
@@ -56,16 +90,24 @@ fn interleave_vs_peel() {
             ..Default::default()
         };
         let res = compile(&prog, &WeightScheme::Ispbo, &cfg).expect("pipeline");
-        let eval = evaluate(&prog, &res.program, &VmOptions::default()).expect("evaluate");
+        evaluate(&prog, &res.program, &VmOptions::default()).expect("evaluate")
+    });
+    for ((label, _), eval) in configs.iter().zip(&evals) {
         println!("  {label:<18} {:+7.1}%", eval.speedup_percent());
     }
-    println!("(the paper: both avoid link pointers; interleaving needs a compile-time size bound)
-");
+    println!(
+        "(the paper: both avoid link pointers; interleaving needs a compile-time size bound)
+"
+    );
+    evals
+        .iter()
+        .map(sim)
+        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
 }
 
 /// Sweep T_s on mcf under PBO: too low leaves cold fields in the root,
 /// too high splits out hot fields (the §2.4 anecdote territory).
-fn threshold_sweep() {
+fn threshold_sweep() -> SimWork {
     println!("== ablation: split threshold T_s (mcf, PBO) ==");
     println!("{:>6} {:>6} {:>6} {:>9}", "T_s%", "T_t", "S", "perf%");
     let prog = mcf::build_config(mcf::McfConfig {
@@ -74,7 +116,8 @@ fn threshold_sweep() {
         skew: 0,
     });
     let fb = slo::collect_profile(&prog).expect("profile");
-    for ts in [0.5, 1.0, 3.0, 7.5, 15.0, 30.0, 60.0] {
+    let sweep = [0.5, 1.0, 3.0, 7.5, 15.0, 30.0, 60.0];
+    let rows = par_map(&sweep, |&ts| {
         let cfg = PipelineConfig {
             heuristics: Some(HeuristicsConfig {
                 split_threshold: ts,
@@ -88,14 +131,18 @@ fn threshold_sweep() {
             split += t.sd_count().0;
         }
         let eval = evaluate(&prog, &res.program, &VmOptions::default()).expect("evaluate");
+        (res.plan.num_transformed(), split, eval)
+    });
+    for (&ts, (transformed, split, eval)) in sweep.iter().zip(&rows) {
         println!(
-            "{ts:>6.1} {:>6} {:>6} {:>9.1}",
-            res.plan.num_transformed(),
-            split,
+            "{ts:>6.1} {transformed:>6} {split:>6} {:>9.1}",
             eval.speedup_percent()
         );
     }
     println!("(the paper's default: 3.0 with PBO)\n");
+    rows.iter()
+        .map(|(_, _, e)| sim(e))
+        .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
 }
 
 /// Sweep the exponent E: correlation of the resulting hotness ranking to
@@ -116,17 +163,17 @@ fn exponent_sweep() {
         .iter()
         .position(|f| *f == "firstout")
         .expect("field");
-    for e in [0.5, 1.0, 1.25, 1.5, 2.0, 3.0] {
+    let sweep = [0.5, 1.0, 1.25, 1.5, 2.0, 3.0];
+    let rows = par_map(&sweep, |&e| {
         let scheme = WeightScheme::IspboCustom(IspboConfig {
             exponent: e,
             ..Default::default()
         });
         let rel = relative_hotness(&prog, node, &scheme);
-        println!(
-            "{e:>6.2} {:>8.3} {:>8.2}",
-            correlation(&pbo, &rel),
-            rel[rare_idx]
-        );
+        (correlation(&pbo, &rel), rel[rare_idx])
+    });
+    for (&e, &(r, rare)) in sweep.iter().zip(&rows) {
+        println!("{e:>6.2} {r:>8.3} {rare:>8.2}");
     }
     println!("(the paper's default: 1.50; rare% = firstout's relative hotness, PBO sees ~1%)\n");
 }
@@ -139,8 +186,8 @@ fn legality_modes() {
         "{:<12} {:>6} {:>8} {:>10} {:>8}",
         "Benchmark", "Types", "strict", "pointsto", "blanket"
     );
-    let mut totals = (0usize, 0usize, 0usize, 0usize);
-    for w in all(InputSet::Training) {
+    let workloads = all(InputSet::Training);
+    let rows = par_map(&workloads, |w| {
         let strict = analyze_program(&w.program, &LegalityConfig::default()).num_legal();
         let pointsto = analyze_program(
             &w.program,
@@ -158,6 +205,10 @@ fn legality_modes() {
             },
         )
         .num_legal();
+        (strict, pointsto, blanket)
+    });
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for (w, &(strict, pointsto, blanket)) in workloads.iter().zip(&rows) {
         println!(
             "{:<12} {:>6} {:>8} {:>10} {:>8}",
             w.name, w.paper.types, strict, pointsto, blanket

@@ -11,24 +11,39 @@
 //! plus the correlation rows `r` (all fields) and `r'` (ignoring the
 //! dominant field, `potential`).
 
+use bench::par::par_map;
+use bench::report::{json_flag, record_table, TableStats};
 use slo::analysis::{
-    argmax, attribute_samples, correlation, correlation_excluding, relative_hotness,
-    WeightScheme,
+    argmax, attribute_samples, correlation, correlation_excluding, relative_hotness, WeightScheme,
 };
+use slo_ir::Program;
 use slo_vm::VmOptions;
 use slo_workloads::mcf::{build, NODE_FIELDS, PAPER_PBO_HOTNESS};
 use slo_workloads::InputSet;
 
 fn main() {
-    // Training run with instrumentation + sampling: PBO, DMISS, DLAT.
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = json_flag(&mut args);
+    let t0 = std::time::Instant::now();
+
     let train = build(InputSet::Training);
     let node = train.types.record_by_name("node").expect("node type");
-    let prof = slo_vm::run(&train, &VmOptions::profiling()).expect("training run");
-    // Reference-input program: PPBO.
     let refp = build(InputSet::Reference);
-    let ref_prof = slo_vm::run(&refp, &VmOptions::profiling()).expect("reference run");
-    // Sampling without instrumentation: DMISS.NO.
-    let plain = slo_vm::run(&train, &VmOptions::sampling_only()).expect("plain run");
+
+    // The three instrumented runs are independent; run them in parallel:
+    // training profile (PBO, DMISS, DLAT), reference profile (PPBO), and
+    // sampling without instrumentation (DMISS.NO).
+    let runs: Vec<(&Program, VmOptions)> = vec![
+        (&train, VmOptions::profiling()),
+        (&refp, VmOptions::profiling()),
+        (&train, VmOptions::sampling_only()),
+    ];
+    let mut outs = par_map(&runs, |(p, opts)| {
+        slo_vm::run(p, opts).expect("instrumented run")
+    });
+    let plain = outs.pop().expect("three runs");
+    let ref_prof = outs.pop().expect("three runs");
+    let prof = outs.pop().expect("three runs");
 
     let pbo = relative_hotness(&train, node, &WeightScheme::Pbo(&prof.feedback));
     let ppbo = relative_hotness(&refp, node, &WeightScheme::Ppbo(&ref_prof.feedback));
@@ -95,4 +110,16 @@ fn main() {
          barely disturbs sampling)",
         correlation(&dmiss, &dmiss_no)
     );
+
+    if json {
+        let stats = [&prof, &ref_prof, &plain];
+        record_table(
+            "table2",
+            TableStats {
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                instructions: stats.iter().map(|o| o.stats.instructions).sum(),
+                cycles: stats.iter().map(|o| o.stats.cycles).sum(),
+            },
+        );
+    }
 }

@@ -5,35 +5,63 @@
 //! → heuristics → rewrite) and both versions execute on the simulated
 //! machine. For 181.mcf and moldyn both the PBO and the non-profile
 //! (ISPBO) configurations are shown, as in the paper.
+//!
+//! The per-benchmark measurements are independent, so they run in
+//! parallel across all cores (`bench::par::par_map`); rows print in
+//! table order once every worker is done. `--json` additionally records
+//! wall time and simulated-instruction throughput in `BENCH_vm.json`.
 
+use bench::par::par_map;
+use bench::report::{json_flag, record_table, TableStats};
 use bench::{measure, opt_pct, pct};
-use slo_workloads::{all, InputSet};
+use slo_workloads::{all, InputSet, Workload};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = json_flag(&mut args);
+    let t0 = std::time::Instant::now();
+
+    // one (workload, pbo) config per output row
+    let configs: Vec<(Workload, bool)> = all(InputSet::Training)
+        .into_iter()
+        .flat_map(|w| {
+            let both = matches!(w.name, "181.mcf" | "moldyn");
+            let pbos: &[bool] = if both { &[false, true] } else { &[false] };
+            pbos.iter().map(move |&pbo| (w.clone(), pbo))
+        })
+        .collect();
+
+    let rows = par_map(&configs, |(w, pbo)| measure(w, *pbo));
+
     println!("Table 3 — transformed types and performance impact");
     println!(
         "{:<12} {:>4} {:>3} {:>4} {:>6} {:>9} {:>9}",
         "Benchmark", "PBO", "T", "T_t", "S/D", "Perf%", "paper%"
     );
-
-    for w in all(InputSet::Training) {
-        let both = matches!(w.name, "181.mcf" | "moldyn");
-        let configs: &[bool] = if both { &[false, true] } else { &[false] };
-        for &pbo in configs {
-            let row = measure(&w, pbo);
-            println!(
-                "{:<12} {:>4} {:>3} {:>4} {:>3}/{:<2} {} {}",
-                row.name,
-                if pbo { "yes" } else { "no" },
-                row.types,
-                row.transformed,
-                row.split_fields,
-                row.dead_fields,
-                pct(row.perf),
-                opt_pct(row.paper),
-            );
-        }
+    for row in &rows {
+        println!(
+            "{:<12} {:>4} {:>3} {:>4} {:>3}/{:<2} {} {}",
+            row.name,
+            if row.pbo { "yes" } else { "no" },
+            row.types,
+            row.transformed,
+            row.split_fields,
+            row.dead_fields,
+            pct(row.perf),
+            opt_pct(row.paper),
+        );
     }
     println!();
     println!("paper: mcf +16.7/+17.3, art +78.2, moldyn +21.8/+30.9, others in the noise");
+
+    if json {
+        record_table(
+            "table3",
+            TableStats {
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                instructions: rows.iter().map(|r| r.instructions).sum(),
+                cycles: rows.iter().map(|r| r.cycles).sum(),
+            },
+        );
+    }
 }

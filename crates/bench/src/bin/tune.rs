@@ -11,10 +11,13 @@
 //! ```
 
 use bench::measure;
+use bench::par::par_map;
+use bench::report::{json_flag, record_table, TableStats};
 use slo_workloads::{PaperRow, Workload};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let json = json_flag(&mut args);
     let get = |i: usize| -> i64 { args[i].parse().expect("numeric arg") };
     let paper = PaperRow {
         types: 0,
@@ -52,7 +55,10 @@ fn main() {
             slo_workloads::casestudy::spec2006_c(get(2), get(3), get(4) != 0),
             false,
         ),
-        "cpp" => (slo_workloads::casestudy::spec2006_cpp(get(2), get(3)), false),
+        "cpp" => (
+            slo_workloads::casestudy::spec2006_cpp(get(2), get(3)),
+            false,
+        ),
         other => panic!("unknown workload `{other}`"),
     };
     let w = Workload {
@@ -62,8 +68,18 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     if std::env::var("TUNE_STATS").is_ok() {
-        let stats = |p: &slo_ir::Program, tag: &str| {
-            let out = slo_vm::run(p, &slo_vm::VmOptions::default()).expect("run");
+        let res = slo::compile(
+            &w.program,
+            &slo::analysis::WeightScheme::Ispbo,
+            &slo::pipeline::PipelineConfig::default(),
+        )
+        .expect("pipeline");
+        // baseline and optimized stat runs are independent
+        let progs = [(&w.program, "baseline "), (&res.program, "optimized")];
+        let outs = par_map(&progs, |(p, _)| {
+            slo_vm::run(p, &slo_vm::VmOptions::default()).expect("run")
+        });
+        for ((_, tag), out) in progs.iter().zip(&outs) {
             println!(
                 "{tag}: instr={} cycles={} loads={} stores={} l1m={} l2m={} l3m={} mem={}",
                 out.stats.instructions,
@@ -75,15 +91,7 @@ fn main() {
                 out.stats.cache.levels[2].misses,
                 out.stats.cache.memory_accesses
             );
-        };
-        stats(&w.program, "baseline ");
-        let res = slo::compile(
-            &w.program,
-            &slo::analysis::WeightScheme::Ispbo,
-            &slo::pipeline::PipelineConfig::default(),
-        )
-        .expect("pipeline");
-        stats(&res.program, "optimized");
+        }
     }
     let row = measure(&w, pbo);
     println!(
@@ -94,4 +102,14 @@ fn main() {
         row.dead_fields,
         t0.elapsed()
     );
+    if json {
+        record_table(
+            "tune",
+            TableStats {
+                wall_seconds: t0.elapsed().as_secs_f64(),
+                instructions: row.instructions,
+                cycles: row.cycles,
+            },
+        );
+    }
 }

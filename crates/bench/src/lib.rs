@@ -1,6 +1,9 @@
 //! Shared helpers for the experiment binaries (tables, figures, case
 //! studies) and the Criterion benches.
 
+pub mod par;
+pub mod report;
+
 use slo::analysis::WeightScheme;
 use slo::pipeline::{compile, evaluate, PipelineConfig};
 use slo_vm::VmOptions;
@@ -38,6 +41,10 @@ pub struct PerfRow {
     pub perf: f64,
     /// The paper's value for the same configuration, if printed.
     pub paper: Option<f64>,
+    /// Simulated instructions retired (baseline + optimized runs).
+    pub instructions: u64,
+    /// Simulated cycles (baseline + optimized runs).
+    pub cycles: u64,
 }
 
 /// Run the full pipeline on a workload (optionally with PBO) and measure
@@ -75,6 +82,12 @@ pub fn measure(w: &Workload, pbo: bool) -> PerfRow {
         split_fields,
         dead_fields,
         perf: eval.speedup_percent(),
-        paper: if pbo { w.paper.perf_pbo } else { w.paper.perf_nopbo },
+        paper: if pbo {
+            w.paper.perf_pbo
+        } else {
+            w.paper.perf_nopbo
+        },
+        instructions: eval.baseline_instructions + eval.optimized_instructions,
+        cycles: eval.baseline_cycles + eval.optimized_cycles,
     }
 }

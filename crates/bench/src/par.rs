@@ -1,0 +1,80 @@
+//! Minimal data-parallel helper for the experiment drivers.
+//!
+//! The container has no rayon, so this is a scoped-thread work queue:
+//! workers pull item indices off a shared atomic counter, compute
+//! results locally, and the caller reassembles them in input order.
+//! Good enough for "run twelve independent pipeline+VM measurements on
+//! all cores", which is the only shape the drivers need.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on all available cores, preserving input order.
+///
+/// Falls back to a sequential map for empty/singleton inputs or when
+/// parallelism is unavailable. Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map(&items, |&x| {
+            assert!(x != 42, "boom");
+            x
+        });
+    }
+}

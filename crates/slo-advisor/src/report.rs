@@ -60,7 +60,12 @@ pub fn render_type(
     };
 
     let _ = writeln!(out, "Type     : {}", rec.name);
-    let _ = writeln!(out, "Fields   : {}, {} bytes", rec.fields.len(), layout.size);
+    let _ = writeln!(
+        out,
+        "Fields   : {}, {} bytes",
+        rec.fields.len(),
+        layout.size
+    );
     let _ = writeln!(out, "Hotness  : {rel:.1}% rel, {abs:.1}% abs");
     let _ = writeln!(out, "Transform: {}", transform_name(input, rid));
     let _ = writeln!(out, "Status   : {}", status_line(input, rid));
@@ -199,7 +204,11 @@ pub fn rw_bar(reads: f64, writes: f64) -> String {
         return " ".repeat(8);
     }
     let r_chars = ((reads / total * 8.0).round() as usize).min(8);
-    let (rc, wc) = if reads > writes { ('R', 'w') } else { ('r', 'W') };
+    let (rc, wc) = if reads > writes {
+        ('R', 'w')
+    } else {
+        ('r', 'W')
+    };
     let mut s = String::new();
     for _ in 0..r_chars {
         s.push(rc);
@@ -291,7 +300,9 @@ mod tests {
         };
         let report = render_report(&input);
         let node_pos = report.find("Type     : node").expect("node present");
-        let other_pos = report.find("Type     : coldtype").expect("coldtype present");
+        let other_pos = report
+            .find("Type     : coldtype")
+            .expect("coldtype present");
         assert!(node_pos < other_pos, "hotter type must come first");
     }
 }

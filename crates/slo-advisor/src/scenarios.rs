@@ -258,7 +258,14 @@ mod tests {
         let mut g = AffinityGraph::new(rid, 4);
         g.add_group(&set(&[0, 1]), 100.0); // phase 1
         g.add_group(&set(&[2, 3]), 90.0); // phase 2, never together
-        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        let advice = classify(
+            &p,
+            rid,
+            &g,
+            &HashMap::new(),
+            None,
+            &ScenarioConfig::default(),
+        );
         assert!(
             advice
                 .iter()
@@ -273,7 +280,14 @@ mod tests {
         let mut g = AffinityGraph::new(rid, 6);
         // fields 0 and 5 hot and affine, declared far apart
         g.add_group(&set(&[0, 5]), 100.0);
-        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        let advice = classify(
+            &p,
+            rid,
+            &g,
+            &HashMap::new(),
+            None,
+            &ScenarioConfig::default(),
+        );
         assert!(
             advice
                 .iter()
@@ -289,7 +303,14 @@ mod tests {
         g.add_group(&set(&[0]), 100.0);
         g.add_group(&set(&[1]), 2.0);
         g.add_group(&set(&[2]), 1.0);
-        let advice = classify(&p, rid, &g, &HashMap::new(), None, &ScenarioConfig::default());
+        let advice = classify(
+            &p,
+            rid,
+            &g,
+            &HashMap::new(),
+            None,
+            &ScenarioConfig::default(),
+        );
         assert!(advice
             .iter()
             .any(|a| matches!(a, Advice::SplitOutCold { fields } if fields == &vec![1, 2])));

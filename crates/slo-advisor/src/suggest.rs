@@ -103,7 +103,11 @@ pub fn render_suggestion(prog: &Program, s: &LayoutSuggestion) -> String {
     out.push_str(&format!("  record {} {{\n", rec.name));
     for (i, &f) in s.order.iter().enumerate() {
         let fld = &rec.fields[f as usize];
-        let marker = if i == s.cold_start { "    // --- cold ---\n" } else { "" };
+        let marker = if i == s.cold_start {
+            "    // --- cold ---\n"
+        } else {
+            ""
+        };
         out.push_str(marker);
         out.push_str(&format!(
             "    {}: {},\n",
@@ -162,10 +166,7 @@ mod tests {
     fn trivial_when_already_ordered() {
         let mut pb = ProgramBuilder::new();
         let i64t = pb.scalar(ScalarKind::I64);
-        let (rid, _) = pb.record(
-            "t",
-            vec![Field::new("a", i64t), Field::new("b", i64t)],
-        );
+        let (rid, _) = pb.record("t", vec![Field::new("a", i64t), Field::new("b", i64t)]);
         let p = pb.finish();
         let mut g = AffinityGraph::new(rid, 2);
         let set = |fs: &[u32]| fs.iter().copied().collect::<BTreeSet<u32>>();

@@ -27,10 +27,7 @@ pub fn render_vcg(prog: &Program, rid: RecordId, graph: &AffinityGraph) -> Strin
             color_for(h)
         );
     }
-    let max_edge = graph
-        .pair_edges()
-        .map(|(_, w)| w)
-        .fold(0.0f64, f64::max);
+    let max_edge = graph.pair_edges().map(|(_, w)| w).fold(0.0f64, f64::max);
     for ((a, b), w) in graph.pair_edges() {
         let rel_w = if max_edge > 0.0 { w / max_edge } else { 0.0 };
         let thickness = 1 + (rel_w * 4.0).round() as u32;

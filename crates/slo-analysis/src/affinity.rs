@@ -457,16 +457,23 @@ bb6:
         let ff = estimate_static(&p, main, &BranchProbs::default());
         let groups = collect_groups(&p, main, &ff);
         assert_eq!(groups.len(), 2);
-        let inner = groups.iter().find(|g| g.fields.contains(&0)).expect("inner");
-        let outer = groups.iter().find(|g| g.fields.contains(&1)).expect("outer");
-        assert!(inner.weight > outer.weight * 4.0, "inner loop must be hotter");
+        let inner = groups
+            .iter()
+            .find(|g| g.fields.contains(&0))
+            .expect("inner");
+        let outer = groups
+            .iter()
+            .find(|g| g.fields.contains(&1))
+            .expect("outer");
+        assert!(
+            inner.weight > outer.weight * 4.0,
+            "inner loop must be hotter"
+        );
     }
 
     #[test]
     fn empty_graph_for_untouched_type() {
-        let (p, g) = graphs(
-            "record unused { x: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n",
-        );
+        let (p, g) = graphs("record unused { x: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n");
         let rid = p.types.record_by_name("unused").expect("unused");
         assert_eq!(g[&rid].type_hotness(), 0.0);
         assert_eq!(g[&rid].relative_hotness(), vec![0.0]);

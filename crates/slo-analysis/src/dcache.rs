@@ -89,12 +89,7 @@ fn field_of_instr(
     chase_fieldaddr(prog, du, r, 0)
 }
 
-fn chase_fieldaddr(
-    prog: &Program,
-    du: &DefUse,
-    r: Reg,
-    depth: u32,
-) -> Option<(RecordId, u32)> {
+fn chase_fieldaddr(prog: &Program, du: &DefUse, r: Reg, depth: u32) -> Option<(RecordId, u32)> {
     if depth > 4 {
         return None;
     }

@@ -193,9 +193,9 @@ pub fn estimate_static(prog: &Program, fid: FuncId, probs: &BranchProbs) -> Func
     let rpo: Vec<BlockId> = dt.rpo().to_vec();
 
     let run_pass = |head: BlockId,
-                        region: Option<&[BlockId]>,
-                        cyclic: &mut HashMap<u32, f64>,
-                        ff: &mut FuncFreq| {
+                    region: Option<&[BlockId]>,
+                    cyclic: &mut HashMap<u32, f64>,
+                    ff: &mut FuncFreq| {
         let in_region = |b: BlockId| region.map(|r| r.contains(&b)).unwrap_or(true);
         let mut bfreq: HashMap<u32, f64> = HashMap::new();
         let mut efreq: HashMap<(u32, u32), f64> = HashMap::new();
@@ -316,8 +316,16 @@ bb3:
 "#;
         let (_, ff) = freq_of(src);
         // head freq = 1 / (1 - 0.88) = 8.33
-        assert!((ff.block[1] - 1.0 / 0.12).abs() < 1e-6, "head {}", ff.block[1]);
-        assert!((ff.block[2] - 0.88 / 0.12).abs() < 1e-6, "body {}", ff.block[2]);
+        assert!(
+            (ff.block[1] - 1.0 / 0.12).abs() < 1e-6,
+            "head {}",
+            ff.block[1]
+        );
+        assert!(
+            (ff.block[2] - 0.88 / 0.12).abs() < 1e-6,
+            "body {}",
+            ff.block[2]
+        );
         assert!((ff.block[3] - 1.0).abs() < 1e-6, "exit {}", ff.block[3]);
     }
 
@@ -342,7 +350,11 @@ bb3:
 "#;
         let (_, ff) = freq_of(src);
         // head freq = 1 / (1 - 0.93) ≈ 14.3
-        assert!((ff.block[1] - 1.0 / 0.07).abs() < 1e-6, "head {}", ff.block[1]);
+        assert!(
+            (ff.block[1] - 1.0 / 0.07).abs() < 1e-6,
+            "head {}",
+            ff.block[1]
+        );
     }
 
     #[test]

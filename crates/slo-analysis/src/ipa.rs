@@ -91,11 +91,7 @@ impl IpaResult {
 }
 
 /// Aggregate FE summaries into whole-program verdicts.
-pub fn aggregate(
-    prog: &Program,
-    summaries: &[LegalitySummary],
-    cfg: &LegalityConfig,
-) -> IpaResult {
+pub fn aggregate(prog: &Program, summaries: &[LegalitySummary], cfg: &LegalityConfig) -> IpaResult {
     // The sharper points-to test is computed once for the whole program.
     let pointsto = cfg
         .pointsto_relax
@@ -126,11 +122,7 @@ pub fn aggregate(
         // Escape analysis: escaping to a function without a body in the
         // IPA scope invalidates the type. (LIBC escapes were already
         // flagged by the FE.)
-        if attrs
-            .escapes_to
-            .iter()
-            .any(|f| !prog.func(*f).is_defined())
-        {
+        if attrs.escapes_to.iter().any(|f| !prog.func(*f).is_defined()) {
             invalid.insert(LegalityTest::Escape);
         }
 
@@ -194,9 +186,7 @@ bb0:
         let res = analyze_program(&p, &LegalityConfig::default());
         assert_eq!(res.num_types(), 4);
         assert_eq!(res.num_legal(), 1);
-        let get = |n: &str| {
-            res.verdict(p.types.record_by_name(n).expect("record"))
-        };
+        let get = |n: &str| res.verdict(p.types.record_by_name(n).expect("record"));
         assert!(get("clean").legal());
         assert!(get("casty").invalid.contains(&LegalityTest::Cstf));
         assert!(get("escaped").invalid.contains(&LegalityTest::Escape));
@@ -309,7 +299,11 @@ bb0:
         );
         let safe = p.types.record_by_name("safe").expect("safe");
         let uns = p.types.record_by_name("unsafe_t").expect("unsafe_t");
-        assert!(justified.verdict(safe).legal(), "safe: {:?}", justified.verdict(safe).invalid);
+        assert!(
+            justified.verdict(safe).legal(),
+            "safe: {:?}",
+            justified.verdict(safe).invalid
+        );
         assert!(!justified.verdict(uns).legal());
     }
 

@@ -88,10 +88,7 @@ pub fn interprocedural_freqs(prog: &Program, cfg: &IspboConfig) -> IspboResult {
     // 2. Local call-site frequencies: E_loc(c) = local freq of the block
     //    containing the call.
     let site_local_freq = |caller: FuncId, block: slo_ir::BlockId| -> f64 {
-        local
-            .get(&caller)
-            .map(|ff| ff.of(block))
-            .unwrap_or(0.0)
+        local.get(&caller).map(|ff| ff.of(block)).unwrap_or(0.0)
     };
 
     // 3. Global counts via topological SCC order (Tarjan emits callees
@@ -121,10 +118,8 @@ pub fn interprocedural_freqs(prog: &Program, cfg: &IspboConfig) -> IspboResult {
             ext.insert(f, inflow);
         }
 
-        let recursive = scc.len() > 1
-            || scc
-                .iter()
-                .any(|&f| cg.calls_from(f).any(|s| s.callee == f));
+        let recursive =
+            scc.len() > 1 || scc.iter().any(|&f| cg.calls_from(f).any(|s| s.callee == f));
         if !recursive {
             for &f in scc {
                 n_g.insert(f, ext[&f]);
@@ -287,7 +282,10 @@ bb0:
         let f = p.func_by_name("f").expect("f");
         let ng = res.global_counts[&f];
         assert!(ng.is_finite());
-        assert!(ng >= 1.0, "recursive callee must stay at least as hot as its external inflow, got {ng}");
+        assert!(
+            ng >= 1.0,
+            "recursive callee must stay at least as hot as its external inflow, got {ng}"
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ pub fn analyze_unit(prog: &Program, unit: usize) -> LegalitySummary {
     // merging across units does not double count.
     if unit == 0 {
         for rid in prog.types.nested_records() {
-            sum.types.entry(rid).or_default().violate(LegalityTest::Nest);
+            sum.types
+                .entry(rid)
+                .or_default()
+                .violate(LegalityTest::Nest);
         }
     }
 
@@ -214,10 +217,9 @@ fn analyze_function(prog: &Program, fid: FuncId, sum: &mut LegalitySummary) {
             Instr::Assign {
                 dst,
                 src: Operand::Reg(s),
+            } if alloc_regs.contains(&s.0) => {
+                alloc_regs.insert(dst.0);
             }
-                if alloc_regs.contains(&s.0) => {
-                    alloc_regs.insert(dst.0);
-                }
             _ => {}
         }
     }
@@ -236,8 +238,8 @@ fn analyze_function(prog: &Program, fid: FuncId, sum: &mut LegalitySummary) {
     // cannot hold records by value, so a record-typed register (the
     // fallback when `ptr<rec>` was never interned) is also a pointer.
     for t in tys.iter().flatten() {
-        let is_ptr_like = prog.types.is_ptr(*t)
-            || matches!(prog.types.get(*t), slo_ir::Type::Record(_));
+        let is_ptr_like =
+            prog.types.is_ptr(*t) || matches!(prog.types.get(*t), slo_ir::Type::Record(_));
         if is_ptr_like {
             if let Some(r) = prog.types.involved_record(*t) {
                 sum.types.entry(r).or_default().has_local_ptr = true;
@@ -434,7 +436,10 @@ bb0:
         let o = s.of(rid(&p, "node"));
         // first cast tolerated (fresh malloc), second one fires
         assert_eq!(o.violations.get(&LegalityTest::Cstt), Some(&1));
-        assert!(o.dyn_alloc, "malloc-cast marks the type dynamically allocated");
+        assert!(
+            o.dyn_alloc,
+            "malloc-cast marks the type dynamically allocated"
+        );
     }
 
     #[test]

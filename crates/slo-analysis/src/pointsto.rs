@@ -89,10 +89,7 @@ impl PointsTo {
     }
 
     fn get_reg(&self, fid: FuncId, r: Reg) -> BTreeSet<AbsLoc> {
-        self.reg_pts
-            .get(&(fid, r.0))
-            .cloned()
-            .unwrap_or_default()
+        self.reg_pts.get(&(fid, r.0)).cloned().unwrap_or_default()
     }
 
     fn add_reg(&mut self, fid: FuncId, r: Reg, locs: impl IntoIterator<Item = AbsLoc>) -> bool {
@@ -151,12 +148,7 @@ impl PointsTo {
                     let locs = self.get_reg(fid, *s);
                     changed |= self.add_reg(fid, *dst, locs);
                 }
-                Instr::Cast {
-                    dst,
-                    src,
-                    from,
-                    to,
-                } => {
+                Instr::Cast { dst, src, from, to } => {
                     // pointer forging: int -> ptr<record> with no tracked
                     // source set means we can prove nothing about the type
                     if let Some(rid) = prog.types.involved_record(*to) {
@@ -164,11 +156,13 @@ impl PointsTo {
                             Operand::Reg(s) => self.get_reg(fid, *s).is_empty(),
                             _ => true,
                         };
-                        if prog.types.involved_record(*from).is_none() && src_empty
-                            && !self.forged.contains(&rid) {
-                                self.forged.insert(rid);
-                                changed = true;
-                            }
+                        if prog.types.involved_record(*from).is_none()
+                            && src_empty
+                            && !self.forged.contains(&rid)
+                        {
+                            self.forged.insert(rid);
+                            changed = true;
+                        }
                     }
                     if let Operand::Reg(s) = src {
                         let locs = self.get_reg(fid, *s);
@@ -409,9 +403,7 @@ bb0:
         let r1 = pt.get_reg(main, Reg(1));
         assert_eq!(r1.len(), 1, "global load must recover the allocation");
         let r2 = pt.get_reg(main, Reg(2));
-        assert!(r2
-            .iter()
-            .all(|l| matches!(l.field, FieldRef::Exact(..))));
+        assert!(r2.iter().all(|l| matches!(l.field, FieldRef::Exact(..))));
     }
 
     #[test]

@@ -102,11 +102,7 @@ pub fn affinity_graphs(
 
 /// Relative field hotness (percent of the hottest field) for one record
 /// under a scheme — one Table 2 column.
-pub fn relative_hotness(
-    prog: &Program,
-    rid: RecordId,
-    scheme: &WeightScheme<'_>,
-) -> Vec<f64> {
+pub fn relative_hotness(prog: &Program, rid: RecordId, scheme: &WeightScheme<'_>) -> Vec<f64> {
     affinity_graphs(prog, scheme)
         .remove(&rid)
         .map(|g| g.relative_hotness())

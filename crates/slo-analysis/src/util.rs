@@ -128,17 +128,18 @@ pub fn reg_types(prog: &Program, fid: FuncId) -> Vec<Option<TypeId>> {
     let n = f.num_regs as usize;
     let mut tys: Vec<Option<TypeId>> = vec![None; n];
     let mut conflicted = vec![false; n];
-    let assign = |tys: &mut Vec<Option<TypeId>>, conflicted: &mut Vec<bool>, r: Reg, t: Option<TypeId>| {
-        let i = r.0 as usize;
-        match (tys[i], t) {
-            (None, Some(t)) if !conflicted[i] => tys[i] = Some(t),
-            (Some(old), Some(new)) if old != new => {
-                tys[i] = None;
-                conflicted[i] = true;
+    let assign =
+        |tys: &mut Vec<Option<TypeId>>, conflicted: &mut Vec<bool>, r: Reg, t: Option<TypeId>| {
+            let i = r.0 as usize;
+            match (tys[i], t) {
+                (None, Some(t)) if !conflicted[i] => tys[i] = Some(t),
+                (Some(old), Some(new)) if old != new => {
+                    tys[i] = None;
+                    conflicted[i] = true;
+                }
+                _ => {}
             }
-            _ => {}
-        }
-    };
+        };
     for (r, t) in &f.params {
         assign(&mut tys, &mut conflicted, *r, Some(*t));
     }
@@ -169,9 +170,7 @@ pub fn reg_types(prog: &Program, fid: FuncId) -> Vec<Option<TypeId>> {
                     *dst,
                     Some(ptr_to_existing(prog, prog.globals[global.index()].ty)),
                 )),
-                Instr::Call { dst, callee, .. } => {
-                    dst.map(|d| (d, Some(prog.func(*callee).ret)))
-                }
+                Instr::Call { dst, callee, .. } => dst.map(|d| (d, Some(prog.func(*callee).ret))),
                 Instr::Assign {
                     dst,
                     src: Operand::Reg(s),
@@ -238,12 +237,8 @@ bb0:
         let roles: Vec<UseRole> = du.uses[1].iter().map(|u| u.role).collect();
         assert_eq!(roles, vec![UseRole::StoreAddr, UseRole::LoadAddr]);
         // r0 used as fieldaddr base twice, assigned, and stored to a global
-        assert!(du.uses[0]
-            .iter()
-            .any(|u| u.role == UseRole::AddrBase));
-        assert!(du.uses[0]
-            .iter()
-            .any(|u| u.role == UseRole::StoreValue));
+        assert!(du.uses[0].iter().any(|u| u.role == UseRole::AddrBase));
+        assert!(du.uses[0].iter().any(|u| u.role == UseRole::StoreValue));
         assert_eq!(du.def_counts[0], 1);
         assert!(du.only_def(Reg(0)).is_some());
         assert!(du.only_def(Reg(4)).is_some());
@@ -256,7 +251,10 @@ bb0:
         let tys = reg_types(&p, main);
         let node = p.types.record_by_name("node").expect("node");
         // r0: ptr<node>
-        assert_eq!(p.types.involved_record(tys[0].expect("r0 typed")), Some(node));
+        assert_eq!(
+            p.types.involved_record(tys[0].expect("r0 typed")),
+            Some(node)
+        );
         assert!(p.types.is_ptr(tys[0].expect("r0 typed")));
         // r2: i64 scalar
         let t2 = tys[2].expect("r2 typed");

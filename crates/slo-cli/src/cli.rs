@@ -93,10 +93,7 @@ fn parse_opts(args: &[String]) -> Opts {
     while i < args.len() {
         let a = &args[i];
         if let Some(name) = a.strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with('-'))
-                .cloned();
+            let value = args.get(i + 1).filter(|v| !v.starts_with('-')).cloned();
             if value.is_some() {
                 i += 1;
             }
@@ -156,8 +153,8 @@ fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
     if let Some(path) = opts.value("profile") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError(format!("cannot read profile `{path}`: {e}")))?;
-        let fb = Feedback::from_text(&text)
-            .map_err(|e| CliError(format!("profile `{path}`: {e}")))?;
+        let fb =
+            Feedback::from_text(&text).map_err(|e| CliError(format!("profile `{path}`: {e}")))?;
         return Ok(Some(fb));
     }
     // collect on the fly
@@ -166,11 +163,9 @@ fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
 }
 
 fn scheme_for<'a>(opts: &Opts, feedback: Option<&'a Feedback>) -> Result<WeightScheme<'a>> {
-    let name = opts.value("scheme").unwrap_or(if feedback.is_some() {
-        "pbo"
-    } else {
-        "ispbo"
-    });
+    let name = opts
+        .value("scheme")
+        .unwrap_or(if feedback.is_some() { "pbo" } else { "ispbo" });
     Ok(match (name.to_ascii_lowercase().as_str(), feedback) {
         ("pbo", Some(fb)) => WeightScheme::Pbo(fb),
         ("pbo", None) => {
@@ -204,7 +199,13 @@ fn cmd_run(args: &[String]) -> Result<String> {
         out.stats.loads, out.stats.stores
     );
     for (i, lvl) in out.stats.cache.levels.iter().enumerate() {
-        let _ = writeln!(s, "L{} hits   : {} / {} misses", i + 1, lvl.hits, lvl.misses);
+        let _ = writeln!(
+            s,
+            "L{} hits   : {} / {} misses",
+            i + 1,
+            lvl.hits,
+            lvl.misses
+        );
     }
     let _ = writeln!(s, "memory    : {}", out.stats.cache.memory_accesses);
     let _ = writeln!(s, "heap peak : {} bytes", out.stats.peak_live_bytes);
@@ -285,8 +286,7 @@ fn cmd_advise(args: &[String]) -> Result<String> {
     };
     let mut s = slo::advisor::render_report(&input);
     for rid in prog.types.record_ids() {
-        let suggestion =
-            slo::advisor::suggest_layout(&prog, rid, &graphs[&rid], 10.0);
+        let suggestion = slo::advisor::suggest_layout(&prog, rid, &graphs[&rid], 10.0);
         if suggestion.is_nontrivial() {
             s.push_str(&slo::advisor::render_suggestion(&prog, &suggestion));
         }
@@ -337,8 +337,7 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
 
     let text = slo_ir::printer::print_program(&res.program);
     if let Some(out) = opts.value("o") {
-        std::fs::write(out, &text)
-            .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        std::fs::write(out, &text).map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
         let _ = writeln!(s, "wrote {out}");
     } else if !opts.has("measure") {
         s.push_str(&text);
@@ -367,8 +366,7 @@ fn cmd_profile(args: &[String]) -> Result<String> {
     let fb = slo::collect_profile(&prog).map_err(|e| CliError(format!("profiling run: {e}")))?;
     let text = fb.to_text();
     if let Some(out) = opts.value("o") {
-        std::fs::write(out, &text)
-            .map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        std::fs::write(out, &text).map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
         Ok(format!(
             "wrote {out} ({} functions, {} edge count total)\n",
             fb.funcs.len(),
@@ -494,8 +492,7 @@ bb3:
     #[test]
     fn analyze_reports_types() {
         let f = write_sample();
-        let out =
-            dispatch_str(&["analyze", f.0.to_str().expect("utf8 path")]).expect("analyze ok");
+        let out = dispatch_str(&["analyze", f.0.to_str().expect("utf8 path")]).expect("analyze ok");
         assert!(out.contains("1 record types, 1 legal"));
         assert!(out.contains("pair"));
         assert!(out.contains("*OK*"));
@@ -504,8 +501,7 @@ bb3:
     #[test]
     fn advise_renders_report() {
         let f = write_sample();
-        let out =
-            dispatch_str(&["advise", f.0.to_str().expect("utf8 path")]).expect("advise ok");
+        let out = dispatch_str(&["advise", f.0.to_str().expect("utf8 path")]).expect("advise ok");
         assert!(out.contains("Type     : pair"));
         assert!(out.contains("\"hot\""));
     }
@@ -527,12 +523,8 @@ bb3:
     #[test]
     fn optimize_measure_runs_both() {
         let f = write_sample();
-        let out = dispatch_str(&[
-            "optimize",
-            f.0.to_str().expect("utf8 path"),
-            "--measure",
-        ])
-        .expect("optimize ok");
+        let out = dispatch_str(&["optimize", f.0.to_str().expect("utf8 path"), "--measure"])
+            .expect("optimize ok");
         assert!(out.contains("cycles"));
         assert!(out.contains("%"));
     }
@@ -566,22 +558,19 @@ bb3:
     #[test]
     fn print_normalizes_ir() {
         let f = write_sample();
-        let out = dispatch_str(&["print", f.0.to_str().expect("utf8 path")])
-            .expect("print ok");
+        let out = dispatch_str(&["print", f.0.to_str().expect("utf8 path")]).expect("print ok");
         assert!(out.contains("record pair"));
         assert!(out.contains("func main() -> i64 {"));
         // printing is a fixpoint
         let f2 = tempfile_path::write_temp("round.sir", &out);
-        let out2 = dispatch_str(&["print", f2.0.to_str().expect("utf8 path")])
-            .expect("reprint ok");
+        let out2 = dispatch_str(&["print", f2.0.to_str().expect("utf8 path")]).expect("reprint ok");
         assert_eq!(out, out2);
     }
 
     #[test]
     fn vcg_emits_graph() {
         let f = write_sample();
-        let out = dispatch_str(&["vcg", f.0.to_str().expect("utf8 path"), "pair"])
-            .expect("vcg ok");
+        let out = dispatch_str(&["vcg", f.0.to_str().expect("utf8 path"), "pair"]).expect("vcg ok");
         assert!(out.starts_with("graph: {"));
         assert!(out.contains("\"hot\""));
     }

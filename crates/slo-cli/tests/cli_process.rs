@@ -24,7 +24,11 @@ fn analyze_sample_file() {
         .arg(sample())
         .output()
         .expect("spawn slo");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("1 record types, 1 legal"));
     assert!(text.contains("item"));
@@ -41,12 +45,20 @@ fn optimize_writes_output_file() {
         .arg(&out_path)
         .output()
         .expect("spawn slo");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&out_path).expect("output written");
     assert!(written.contains("record item"));
     assert!(written.contains("item_cold"), "split must have happened");
     // the emitted IR is itself runnable
-    let run = slo().args(["run"]).arg(&out_path).output().expect("spawn slo");
+    let run = slo()
+        .args(["run"])
+        .arg(&out_path)
+        .output()
+        .expect("spawn slo");
     assert!(run.status.success());
     let _ = std::fs::remove_file(&out_path);
 }

@@ -113,7 +113,9 @@ impl ProgramBuilder {
     /// Fill in the fields of a forward-declared record.
     pub fn complete_record(&mut self, rid: RecordId, fields: Vec<Field>) {
         let name = self.prog.types.record(rid).name.clone();
-        self.prog.types.replace_record(rid, RecordType { name, fields });
+        self.prog
+            .types
+            .replace_record(rid, RecordType { name, fields });
     }
 
     /// Add a global variable.
@@ -126,12 +128,7 @@ impl ProgramBuilder {
 
     /// Declare a defined function (body filled in later via
     /// [`ProgramBuilder::define`]). Parameters become registers `0..n`.
-    pub fn declare(
-        &mut self,
-        name: impl Into<String>,
-        params: Vec<TypeId>,
-        ret: TypeId,
-    ) -> FuncId {
+    pub fn declare(&mut self, name: impl Into<String>, params: Vec<TypeId>, ret: TypeId) -> FuncId {
         self.declare_kind(name, params, ret, FuncKind::Defined)
     }
 
@@ -656,10 +653,7 @@ mod tests {
     fn field_access_helpers() {
         let mut pb = ProgramBuilder::new();
         let i64t = pb.scalar(ScalarKind::I64);
-        let (rid, rty) = pb.record(
-            "pair",
-            vec![Field::new("a", i64t), Field::new("b", i64t)],
-        );
+        let (rid, rty) = pb.record("pair", vec![Field::new("a", i64t), Field::new("b", i64t)]);
         let f = pb.declare("f", vec![], i64t);
         pb.define(f, |fb| {
             let p = fb.alloc(rty, Operand::int(4));
@@ -695,10 +689,7 @@ mod tests {
         let i64t = pb.scalar(ScalarKind::I64);
         let (rid, rty) = pb.record_fwd("list");
         let pnode = pb.ptr(rty);
-        pb.complete_record(
-            rid,
-            vec![Field::new("v", i64t), Field::new("next", pnode)],
-        );
+        pb.complete_record(rid, vec![Field::new("v", i64t), Field::new("next", pnode)]);
         let p = pb.finish();
         assert!(p.types.is_recursive(rid));
     }

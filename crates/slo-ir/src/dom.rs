@@ -54,11 +54,7 @@ impl DomTree {
 
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         if n == 0 {
-            return DomTree {
-                idom,
-                rpo,
-                rpo_pos,
-            };
+            return DomTree { idom, rpo, rpo_pos };
         }
         idom[0] = Some(BlockId(0));
 
@@ -99,11 +95,7 @@ impl DomTree {
             }
         }
 
-        DomTree {
-            idom,
-            rpo,
-            rpo_pos,
-        }
+        DomTree { idom, rpo, rpo_pos }
     }
 
     /// The immediate dominator of `b` (`None` for the entry or

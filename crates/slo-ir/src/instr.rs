@@ -565,10 +565,7 @@ impl Instr {
     pub fn is_memory_op(&self) -> bool {
         matches!(
             self,
-            Instr::Load { .. }
-                | Instr::Store { .. }
-                | Instr::Memcpy { .. }
-                | Instr::Memset { .. }
+            Instr::Load { .. } | Instr::Store { .. } | Instr::Memcpy { .. } | Instr::Memset { .. }
         )
     }
 }
@@ -609,7 +606,14 @@ mod tests {
 
     #[test]
     fn cmpop_roundtrip() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(CmpOp::from_name(op.name()), Some(op));
         }
     }

@@ -67,4 +67,6 @@ pub mod verify;
 pub use builder::{FuncBuilder, ProgramBuilder};
 pub use instr::{BinOp, BlockId, CmpOp, Const, FuncId, GlobalId, Instr, InstrRef, Operand, Reg};
 pub use module::{BasicBlock, FuncKind, Function, GlobalVar, Program, Unit};
-pub use types::{Field, RecordId, RecordLayout, RecordType, ScalarKind, Type, TypeId, TypeTable};
+pub use types::{
+    Field, LayoutCache, RecordId, RecordLayout, RecordType, ScalarKind, Type, TypeId, TypeTable,
+};

@@ -127,8 +127,7 @@ impl LoopForest {
             }
         }
         let n = nodes.len(); // reachable blocks only
-        let is_ancestor =
-            |w: usize, v: usize, last: &[usize]| -> bool { w <= v && v <= last[w] };
+        let is_ancestor = |w: usize, v: usize, last: &[usize]| -> bool { w <= v && v <= last[w] };
 
         // --- classify edges ----------------------------------------------
         let preds_all = f.predecessors();
@@ -154,7 +153,7 @@ impl LoopForest {
         kind[0] = BbKind::Top;
         let mut uf = UnionFind::new(n);
         let mut header_of: Vec<usize> = vec![0; n]; // dfs num of innermost header
-        // loop_body[w] collected when w is a header
+                                                    // loop_body[w] collected when w is a header
         let mut loop_body: Vec<Vec<usize>> = vec![Vec::new(); n];
 
         for w in (0..n).rev() {
@@ -229,8 +228,7 @@ impl LoopForest {
                 // header_of[w] == 0 either means "no loop" or "loop with
                 // header at dfs 0"; disambiguate by whether dfs 0 is a header
                 // and w is in its body.
-                if loop_id_of_header[header_of[w]].is_some()
-                    && loop_body[header_of[w]].contains(&w)
+                if loop_id_of_header[header_of[w]].is_some() && loop_body[header_of[w]].contains(&w)
                 {
                     innermost_dfs[w] = loop_id_of_header[header_of[w]];
                 }
@@ -254,9 +252,10 @@ impl LoopForest {
             while let Some(id) = cur {
                 let lp = &mut loops[id.0 as usize];
                 if (lp.header != nodes[w] || innermost_dfs[w] == Some(id))
-                    && !lp.blocks.contains(&nodes[w]) {
-                        lp.blocks.push(nodes[w]);
-                    }
+                    && !lp.blocks.contains(&nodes[w])
+                {
+                    lp.blocks.push(nodes[w]);
+                }
                 cur = loops[id.0 as usize].parent;
             }
         }
@@ -339,12 +338,9 @@ impl LoopForest {
     /// Compute with a dominator tree cross-check (debug aid): for reducible
     /// loops, the header must dominate every block of the loop.
     pub fn verify_against(&self, _f: &Function, dt: &DomTree) -> bool {
-        self.loops.iter().all(|l| {
-            !l.reducible
-                || l.blocks
-                    .iter()
-                    .all(|&b| dt.dominates(l.header, b))
-        })
+        self.loops
+            .iter()
+            .all(|l| !l.reducible || l.blocks.iter().all(|&b| dt.dominates(l.header, b)))
     }
 }
 

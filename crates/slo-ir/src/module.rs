@@ -25,7 +25,9 @@ impl BasicBlock {
 
     /// Successor blocks of this block.
     pub fn successors(&self) -> Vec<BlockId> {
-        self.terminator().map(|t| t.successors()).unwrap_or_default()
+        self.terminator()
+            .map(|t| t.successors())
+            .unwrap_or_default()
     }
 }
 

@@ -210,8 +210,7 @@ fn lex_number(src: &str, start: usize, line: u32) -> PResult<(Tok, usize)> {
     while i < bytes.len() && bytes[i].is_ascii_digit() {
         i += 1;
     }
-    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
-    {
+    if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
         is_float = true;
         i += 1;
         while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -503,7 +502,9 @@ pub fn parse(src: &str) -> PResult<Program> {
                     }
                 }
                 p.expect(Tok::RBrace)?;
-                p.prog.types.replace_record(rid, RecordType { name, fields });
+                p.prog
+                    .types
+                    .replace_record(rid, RecordType { name, fields });
             }
             Tok::Ident(kw) if kw == "global" => {
                 p.bump();
@@ -691,13 +692,10 @@ fn parse_instr(p: &mut Parser) -> PResult<Instr> {
             let value = p.parse_operand()?;
             p.expect(Tok::Comma)?;
             let gname = p.ident()?;
-            let global = p
-                .prog
-                .global_by_name(&gname)
-                .ok_or_else(|| ParseError {
-                    line: p.line(),
-                    message: format!("unknown global `{gname}`"),
-                })?;
+            let global = p.prog.global_by_name(&gname).ok_or_else(|| ParseError {
+                line: p.line(),
+                message: format!("unknown global `{gname}`"),
+            })?;
             Ok(Instr::StoreGlobal { global, value })
         }
         "free" => {
@@ -760,8 +758,7 @@ fn parse_instr(p: &mut Parser) -> PResult<Instr> {
                 Tok::Int(_) | Tok::Float(_) => Some(p.parse_operand()?),
                 Tok::Ident(s) => {
                     let is_operand = s == "null"
-                        || (Parser::reg_of(s).is_some()
-                            && p.toks[p.pos + 1].0 != Tok::Eq);
+                        || (Parser::reg_of(s).is_some() && p.toks[p.pos + 1].0 != Tok::Eq);
                     if is_operand {
                         Some(p.parse_operand()?)
                     } else {
@@ -821,21 +818,23 @@ fn parse_rhs(p: &mut Parser, dst: Reg) -> PResult<Instr> {
                     let Some((rname, fname)) = path.split_once('.') else {
                         return p.err(format!("expected record.field, found `{path}`"));
                     };
-                    let rid = p.prog.types.record_by_name(rname).ok_or_else(|| {
-                        ParseError {
-                            line: p.line(),
-                            message: format!("unknown record `{rname}`"),
-                        }
-                    })?;
-                    let field = p
+                    let rid = p
                         .prog
                         .types
-                        .record(rid)
-                        .field_index(fname)
+                        .record_by_name(rname)
                         .ok_or_else(|| ParseError {
                             line: p.line(),
-                            message: format!("unknown field `{rname}.{fname}`"),
+                            message: format!("unknown record `{rname}`"),
                         })?;
+                    let field =
+                        p.prog
+                            .types
+                            .record(rid)
+                            .field_index(fname)
+                            .ok_or_else(|| ParseError {
+                                line: p.line(),
+                                message: format!("unknown field `{rname}.{fname}`"),
+                            })?;
                     Ok(Instr::FieldAddr {
                         dst,
                         base,

@@ -36,11 +36,7 @@ pub fn print_program(p: &Program) -> String {
 
     for fid in p.func_ids() {
         let f = p.func(fid);
-        let params: Vec<String> = f
-            .params
-            .iter()
-            .map(|(_, t)| p.types.display(*t))
-            .collect();
+        let params: Vec<String> = f.params.iter().map(|(_, t)| p.types.display(*t)).collect();
         let sig = format!(
             "func {}({}) -> {}",
             f.name,
@@ -185,10 +181,7 @@ mod tests {
         let u32t = pb.scalar(ScalarKind::U32);
         let (_, rty) = pb.record(
             "node",
-            vec![
-                Field::new("v", i64t),
-                Field::bitfield("flags", u32t, 3),
-            ],
+            vec![Field::new("v", i64t), Field::bitfield("flags", u32t, 3)],
         );
         let pnode = pb.ptr(rty);
         pb.global("P", pnode);

@@ -498,6 +498,68 @@ pub fn round_up(v: u64, align: u64) -> u64 {
     v.div_ceil(align) * align
 }
 
+/// Precomputed size/align/layout tables for every type in a
+/// [`TypeTable`].
+///
+/// [`TypeTable::layout_of`] and [`TypeTable::size_of`] recompute the
+/// full (recursive) layout on every call, which is fine for analyses
+/// that ask a handful of times but far too slow for an interpreter
+/// asking on every `fieldaddr`/`indexaddr`. A `LayoutCache` is built
+/// once per program snapshot and answers all layout queries with a
+/// plain array index.
+///
+/// The cache is a snapshot: if records are replaced afterwards
+/// (e.g. by a layout transformation), build a new cache.
+#[derive(Debug, Clone)]
+pub struct LayoutCache {
+    type_sizes: Vec<u64>,
+    type_aligns: Vec<u64>,
+    layouts: Vec<RecordLayout>,
+}
+
+impl LayoutCache {
+    /// Precompute sizes, alignments, and record layouts for every type
+    /// currently interned in `table`.
+    pub fn new(table: &TypeTable) -> Self {
+        let layouts: Vec<RecordLayout> = table.record_ids().map(|r| table.layout_of(r)).collect();
+        let mut type_sizes = Vec::with_capacity(table.num_types());
+        let mut type_aligns = Vec::with_capacity(table.num_types());
+        for i in 0..table.num_types() as u32 {
+            type_sizes.push(table.size_of(TypeId(i)));
+            type_aligns.push(table.align_of(TypeId(i)));
+        }
+        LayoutCache {
+            type_sizes,
+            type_aligns,
+            layouts,
+        }
+    }
+
+    /// Size of `id` in bytes (O(1)).
+    #[inline]
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        self.type_sizes[id.0 as usize]
+    }
+
+    /// Alignment of `id` in bytes (O(1)).
+    #[inline]
+    pub fn align_of(&self, id: TypeId) -> u64 {
+        self.type_aligns[id.0 as usize]
+    }
+
+    /// The precomputed layout of record `rid` (O(1)).
+    #[inline]
+    pub fn layout(&self, rid: RecordId) -> &RecordLayout {
+        &self.layouts[rid.0 as usize]
+    }
+
+    /// Byte offset of field `field` in record `rid` (O(1)).
+    #[inline]
+    pub fn field_offset(&self, rid: RecordId, field: u32) -> u64 {
+        self.layouts[rid.0 as usize].offsets[field as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,6 +784,42 @@ mod tests {
         assert_eq!(round_up(1, 8), 8);
         assert_eq!(round_up(8, 8), 8);
         assert_eq!(round_up(9, 4), 12);
+    }
+
+    #[test]
+    fn layout_cache_matches_direct_computation() {
+        let mut t = table();
+        let i32t = t.scalar(ScalarKind::I32);
+        let f64t = t.scalar(ScalarKind::F64);
+        let (inner, inner_ty) = t.add_record(RecordType {
+            name: "inner".into(),
+            fields: vec![Field::new("x", i32t), Field::new("y", f64t)],
+        });
+        let arr = t.array(inner_ty, 3);
+        let (outer, _) = t.add_record(RecordType {
+            name: "outer".into(),
+            fields: vec![Field::new("a", arr), Field::new("b", i32t)],
+        });
+        let p = t.ptr(inner_ty);
+        let cache = LayoutCache::new(&t);
+        for id in [i32t, f64t, inner_ty, arr, p] {
+            assert_eq!(
+                cache.size_of(id),
+                t.size_of(id),
+                "size of {}",
+                t.display(id)
+            );
+            assert_eq!(
+                cache.align_of(id),
+                t.align_of(id),
+                "align of {}",
+                t.display(id)
+            );
+        }
+        for rid in [inner, outer] {
+            assert_eq!(*cache.layout(rid), t.layout_of(rid));
+        }
+        assert_eq!(cache.field_offset(outer, 1), t.layout_of(outer).offsets[1]);
     }
 
     #[test]

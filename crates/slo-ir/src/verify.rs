@@ -101,20 +101,19 @@ pub fn verify(p: &Program) -> Vec<VerifyError> {
                             );
                         }
                     }
-                    Instr::Call { callee, .. }
-                        if callee.index() >= p.funcs.len() => {
-                            push(&mut errs, format!("bb{bi}:{ii}: unknown callee {callee}"));
-                        }
-                    Instr::FuncAddr { func, .. }
-                        if func.index() >= p.funcs.len() => {
-                            push(&mut errs, format!("bb{bi}:{ii}: unknown function {func}"));
-                        }
+                    Instr::Call { callee, .. } if callee.index() >= p.funcs.len() => {
+                        push(&mut errs, format!("bb{bi}:{ii}: unknown callee {callee}"));
+                    }
+                    Instr::FuncAddr { func, .. } if func.index() >= p.funcs.len() => {
+                        push(&mut errs, format!("bb{bi}:{ii}: unknown function {func}"));
+                    }
                     Instr::LoadGlobal { global, .. }
                     | Instr::StoreGlobal { global, .. }
                     | Instr::AddrOfGlobal { global, .. }
-                        if global.index() >= p.globals.len() => {
-                            push(&mut errs, format!("bb{bi}:{ii}: unknown global {global}"));
-                        }
+                        if global.index() >= p.globals.len() =>
+                    {
+                        push(&mut errs, format!("bb{bi}:{ii}: unknown global {global}"));
+                    }
                     Instr::Load { ty, .. } | Instr::Store { ty, .. } => {
                         if (ty.0 as usize) >= p.types.num_types() {
                             push(&mut errs, format!("bb{bi}:{ii}: unknown type {ty}"));
@@ -129,9 +128,10 @@ pub fn verify(p: &Program) -> Vec<VerifyError> {
                         }
                     }
                     Instr::Alloc { elem, .. } | Instr::Realloc { elem, .. }
-                        if (elem.0 as usize) >= p.types.num_types() => {
-                            push(&mut errs, format!("bb{bi}:{ii}: unknown type {elem}"));
-                        }
+                        if (elem.0 as usize) >= p.types.num_types() =>
+                    {
+                        push(&mut errs, format!("bb{bi}:{ii}: unknown type {elem}"));
+                    }
                     _ => {}
                 }
             }
@@ -251,9 +251,7 @@ mod tests {
             ret: void,
             kind: FuncKind::Defined,
             blocks: vec![BasicBlock {
-                instrs: vec![Instr::Jump {
-                    target: BlockId(9),
-                }],
+                instrs: vec![Instr::Jump { target: BlockId(9) }],
             }],
             num_regs: 0,
             unit: 0,

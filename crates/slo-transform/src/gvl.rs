@@ -14,10 +14,7 @@ use slo_ir::{FuncId, GlobalId, Instr, Program};
 use std::collections::HashMap;
 
 /// Estimated access count per global under the given frequencies.
-pub fn global_hotness(
-    prog: &Program,
-    freqs: &HashMap<FuncId, FuncFreq>,
-) -> Vec<(GlobalId, f64)> {
+pub fn global_hotness(prog: &Program, freqs: &HashMap<FuncId, FuncFreq>) -> Vec<(GlobalId, f64)> {
     let mut hot = vec![0.0f64; prog.globals.len()];
     let empty = FuncFreq::default();
     for fid in prog.func_ids() {
@@ -76,7 +73,10 @@ pub fn apply_gvl(prog: &Program, order: &[GlobalId]) -> Result<Program, RewriteE
     for (new_i, &old) in order.iter().enumerate() {
         remap[old.index()] = GlobalId(new_i as u32);
     }
-    out.globals = order.iter().map(|g| prog.globals[g.index()].clone()).collect();
+    out.globals = order
+        .iter()
+        .map(|g| prog.globals[g.index()].clone())
+        .collect();
     for f in &mut out.funcs {
         for b in &mut f.blocks {
             for ins in &mut b.instrs {
@@ -116,9 +116,7 @@ mod tests {
     fn scattered_globals() -> Program {
         let mut pb = ProgramBuilder::new();
         let i64t = pb.scalar(ScalarKind::I64);
-        let globals: Vec<_> = (0..48)
-            .map(|i| pb.global(format!("g{i}"), i64t))
-            .collect();
+        let globals: Vec<_> = (0..48).map(|i| pb.global(format!("g{i}"), i64t)).collect();
         let hot: Vec<_> = globals.iter().copied().step_by(8).collect();
         let main = pb.declare("main", vec![], i64t);
         pb.define(main, |fb| {

@@ -74,8 +74,9 @@ mod tests {
 
     #[test]
     fn forced_split_builds_plan() {
-        let p = parse("record n { a: i64, b: i64, c: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n")
-            .expect("parse");
+        let p =
+            parse("record n { a: i64, b: i64, c: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n")
+                .expect("parse");
         let plan = forced_split(&p, "n", &["b"]).expect("plan");
         let rid = p.types.record_by_name("n").expect("n");
         match plan.of(rid) {
@@ -91,8 +92,8 @@ mod tests {
 
     #[test]
     fn forced_split_rejects_unknown() {
-        let p = parse("record n { a: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n")
-            .expect("parse");
+        let p =
+            parse("record n { a: i64 }\nfunc main() -> i64 {\nbb0:\n  ret 0\n}\n").expect("parse");
         assert!(forced_split(&p, "zz", &[]).is_err());
         assert!(forced_split(&p, "n", &["zz"]).is_err());
     }

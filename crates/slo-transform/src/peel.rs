@@ -17,8 +17,7 @@
 
 use crate::rewrite::RewriteError;
 use slo_ir::{
-    FuncId, GlobalVar, Instr, Operand, Program, RecordId, RecordType, Reg, ScalarKind, Type,
-    TypeId,
+    FuncId, GlobalVar, Instr, Operand, Program, RecordId, RecordType, Reg, ScalarKind, Type, TypeId,
 };
 
 /// How the per-field storage is laid out after the pointer→index rewrite.
@@ -163,10 +162,12 @@ fn rewrite_function(
     // compiler's loop-invariant code motion would do with `P_i`) — but
     // only in functions that do not themselves allocate the array, where
     // the ordering against the StoreGlobal is trivially safe.
-    let allocates_rid = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| matches!(
-        i,
-        Instr::Alloc { elem, .. } if prog.types.involved_record(*elem) == Some(rid)
-    ));
+    let allocates_rid = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+        matches!(
+            i,
+            Instr::Alloc { elem, .. } if prog.types.involved_record(*elem) == Some(rid)
+        )
+    });
     let mut hoisted: Vec<Option<Reg>> = vec![None; piece_of.len()];
     let mut entry_loads: Vec<Instr> = Vec::new();
     if !allocates_rid {
@@ -232,9 +233,7 @@ fn rewrite_function(
                             nb.push(Instr::Alloc {
                                 dst: base,
                                 elem: u8t,
-                                count: Operand::Const(slo_ir::Const::Int(
-                                    offset as i64,
-                                )),
+                                count: Operand::Const(slo_ir::Const::Int(offset as i64)),
                                 zeroed: *zeroed,
                             });
                             for (g, off) in regions {
@@ -243,9 +242,7 @@ fn rewrite_function(
                                     dst: pr,
                                     op: slo_ir::BinOp::Add,
                                     lhs: base.into(),
-                                    rhs: Operand::Const(slo_ir::Const::Int(
-                                        off as i64,
-                                    )),
+                                    rhs: Operand::Const(slo_ir::Const::Int(off as i64)),
                                 });
                                 nb.push(Instr::StoreGlobal {
                                     global: g,
@@ -261,7 +258,10 @@ fn rewrite_function(
                     });
                 }
                 Instr::IndexAddr {
-                    dst, base, elem, index,
+                    dst,
+                    base,
+                    elem,
+                    index,
                 } if prog.types.involved_record(*elem) == Some(rid) => {
                     nb.push(Instr::Bin {
                         dst: *dst,
@@ -302,7 +302,11 @@ fn rewrite_function(
                             continue;
                         }
                     }
-                    let ty = if is_ptr_to(prog, *ty, rid) { index_ty } else { *ty };
+                    let ty = if is_ptr_to(prog, *ty, rid) {
+                        index_ty
+                    } else {
+                        *ty
+                    };
                     nb.push(Instr::Store {
                         addr: *addr,
                         value: *value,
@@ -315,7 +319,11 @@ fn rewrite_function(
                             return Err(RewriteError::DeadFieldRead(format!("in `{fname}`")));
                         }
                     }
-                    let ty = if is_ptr_to(prog, *ty, rid) { index_ty } else { *ty };
+                    let ty = if is_ptr_to(prog, *ty, rid) {
+                        index_ty
+                    } else {
+                        *ty
+                    };
                     nb.push(Instr::Load {
                         dst: *dst,
                         addr: *addr,
@@ -323,8 +331,16 @@ fn rewrite_function(
                     });
                 }
                 Instr::Cast { dst, src, from, to } => {
-                    let from = if is_ptr_to(prog, *from, rid) { index_ty } else { *from };
-                    let to = if is_ptr_to(prog, *to, rid) { index_ty } else { *to };
+                    let from = if is_ptr_to(prog, *from, rid) {
+                        index_ty
+                    } else {
+                        *from
+                    };
+                    let to = if is_ptr_to(prog, *to, rid) {
+                        index_ty
+                    } else {
+                        *to
+                    };
                     nb.push(Instr::Cast {
                         dst: *dst,
                         src: *src,

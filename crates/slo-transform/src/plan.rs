@@ -62,9 +62,7 @@ impl TypeTransform {
             TypeTransform::None => (0, 0),
             TypeTransform::RemoveDead { dead } => (0, dead.len()),
             TypeTransform::Split { cold, dead, .. } => (cold.len(), dead.len()),
-            TypeTransform::Peel { dead } | TypeTransform::Interleave { dead } => {
-                (0, dead.len())
-            }
+            TypeTransform::Peel { dead } | TypeTransform::Interleave { dead } => (0, dead.len()),
         }
     }
 
@@ -327,10 +325,7 @@ pub fn peelable(prog: &Program, rid: RecordId, ipa: &IpaResult) -> bool {
         let is_rid_ptr = |op: &Operand| -> bool {
             match op {
                 Operand::Reg(r) => tys[r.0 as usize]
-                    .map(|t| {
-                        prog.types.is_ptr(t)
-                            && prog.types.involved_record(t) == Some(rid)
-                    })
+                    .map(|t| prog.types.is_ptr(t) && prog.types.involved_record(t) == Some(rid))
                     .unwrap_or(false),
                 _ => false,
             }
@@ -608,7 +603,11 @@ bb0:
     fn hot_order_by_hotness_and_affinity() {
         let mut g = AffinityGraph::new(RecordId(0), 4);
         // field 0 hottest; 0-2 strongly affine; 1 medium; 3 weak
-        let mk = |fs: &[u32]| fs.iter().copied().collect::<std::collections::BTreeSet<u32>>();
+        let mk = |fs: &[u32]| {
+            fs.iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<u32>>()
+        };
         g.add_group(&mk(&[0, 2]), 100.0);
         g.add_group(&mk(&[1]), 60.0);
         g.add_group(&mk(&[3]), 5.0);

@@ -151,7 +151,10 @@ bb0:
         assert_eq!(out.exit, Value::Int(7));
         let rec = q.types.record(rid);
         assert_eq!(
-            rec.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            rec.fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["c", "a", "b"]
         );
     }

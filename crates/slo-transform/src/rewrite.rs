@@ -238,7 +238,8 @@ fn rewrite_function(
     let f = out.func(fid).clone();
     let fname = f.name.clone();
 
-    let mut new_blocks: Vec<BasicBlock> = (0..f.blocks.len()).map(|_| BasicBlock::default()).collect();
+    let mut new_blocks: Vec<BasicBlock> =
+        (0..f.blocks.len()).map(|_| BasicBlock::default()).collect();
     let mut next_reg = f.num_regs;
     let mut fresh = || {
         let r = Reg(next_reg);
@@ -319,9 +320,7 @@ fn rewrite_function(
                 Instr::Load { addr, .. } => {
                     if let Operand::Reg(r) = addr {
                         if dead_addrs.contains(&r.0) {
-                            return Err(RewriteError::DeadFieldRead(format!(
-                                "in `{fname}`"
-                            )));
+                            return Err(RewriteError::DeadFieldRead(format!("in `{fname}`")));
                         }
                     }
                     new_blocks[cur].instrs.push(ins.clone());
@@ -418,8 +417,9 @@ fn rewrite_function(
                 }
                 Instr::Free { ptr } => {
                     let split = match ptr {
-                        Operand::Reg(r) => ptr_rec(*r, out)
-                            .and_then(|rec| rewrites.get(&rec).map(|rw| (rec, rw))),
+                        Operand::Reg(r) => {
+                            ptr_rec(*r, out).and_then(|rec| rewrites.get(&rec).map(|rw| (rec, rw)))
+                        }
                         _ => None,
                     };
                     match split {
@@ -447,9 +447,7 @@ fn rewrite_function(
                 Instr::Realloc { elem, .. } => {
                     if let Some(rec) = out.types.involved_record(*elem) {
                         if rewrites.get(&rec).map(|rw| rw.cold.is_some()) == Some(true) {
-                            return Err(RewriteError::ReallocOfSplitType(format!(
-                                "in `{fname}`"
-                            )));
+                            return Err(RewriteError::ReallocOfSplitType(format!("in `{fname}`")));
                         }
                     }
                     new_blocks[cur].instrs.push(ins.clone());
@@ -684,7 +682,10 @@ bb0:
         let node = q.types.record_by_name("node").expect("node");
         let rec = q.types.record(node);
         assert_eq!(
-            rec.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            rec.fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["h1", "h2", "__link"]
         );
     }

@@ -200,11 +200,7 @@ impl CacheSim {
             levels: vec![LevelStats::default(); cfg.levels.len()],
             ..CacheStats::default()
         };
-        CacheSim {
-            levels,
-            cfg,
-            stats,
-        }
+        CacheSim { levels, cfg, stats }
     }
 
     /// Simulate one access. `fp` selects the FP path (starts at
@@ -237,12 +233,7 @@ impl CacheSim {
         self.stats.memory_accesses += 1;
         if self.cfg.next_line_prefetch {
             // install the next line everywhere, free of charge
-            let line = self
-                .cfg
-                .levels
-                .first()
-                .map(|l| l.line)
-                .unwrap_or(64);
+            let line = self.cfg.levels.first().map(|l| l.line).unwrap_or(64);
             let next = addr.wrapping_add(line) & !(line - 1);
             for l in &mut self.levels {
                 l.access(next);
@@ -417,16 +408,19 @@ mod tests {
             with.access(0x10000 + i * 64, false);
             without.access(0x10000 + i * 64, false);
         }
-        assert!(with.stats().memory_accesses < without.stats().memory_accesses / 2 + 2,
-            "prefetch {} vs plain {}", with.stats().memory_accesses,
-            without.stats().memory_accesses);
+        assert!(
+            with.stats().memory_accesses < without.stats().memory_accesses / 2 + 2,
+            "prefetch {} vs plain {}",
+            with.stats().memory_accesses,
+            without.stats().memory_accesses
+        );
         assert!(with.stats().prefetches > 0);
     }
 
     #[test]
     fn capacity_eviction_over_working_set() {
         let mut c = tiny(); // L1 = 256B
-        // touch 1KB (16 lines) — exceeds L1, fits L2
+                            // touch 1KB (16 lines) — exceeds L1, fits L2
         for i in 0..16u64 {
             c.access(0x4000 + i * 64, false);
         }

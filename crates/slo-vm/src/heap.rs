@@ -214,7 +214,12 @@ impl Heap {
     /// # Errors
     ///
     /// Fails on null or out-of-bounds access.
-    pub fn write_scalar(&mut self, addr: u64, k: ScalarKind, v: ScalarValue) -> Result<(), MemError> {
+    pub fn write_scalar(
+        &mut self,
+        addr: u64,
+        k: ScalarKind,
+        v: ScalarValue,
+    ) -> Result<(), MemError> {
         let raw = match (k, v) {
             (ScalarKind::F32, sv) => (sv.as_float() as f32).to_bits() as u64,
             (ScalarKind::F64, sv) => sv.as_float().to_bits(),

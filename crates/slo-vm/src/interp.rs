@@ -12,10 +12,23 @@ use crate::cost::CostModel;
 use crate::heap::{Heap, MemError, ScalarValue};
 use crate::profile::Feedback;
 use crate::value::Value;
-use slo_ir::{
-    BlockId, FuncId, FuncKind, Instr, InstrRef, Operand, Program, Reg, ScalarKind, Type,
-};
+use slo_ir::{BlockId, FuncId, FuncKind, Instr, InstrRef, Operand, Program, Reg, ScalarKind, Type};
 use std::fmt;
+
+/// Which execution engine runs the program.
+///
+/// Both engines are observationally identical (exit values, stats,
+/// profiles); the decoded engine is the fast default, the structured
+/// engine walks the IR directly and is kept as the reference
+/// implementation for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pre-decoded flat instruction stream (see [`crate::decode`]).
+    #[default]
+    Decoded,
+    /// Structured IR walker (the original engine).
+    Structured,
+}
 
 /// Interpreter options.
 #[derive(Debug, Clone)]
@@ -34,6 +47,8 @@ pub struct VmOptions {
     pub step_limit: u64,
     /// Abort beyond this call depth.
     pub call_depth_limit: usize,
+    /// Which execution engine to use.
+    pub engine: Engine,
 }
 
 impl Default for VmOptions {
@@ -46,6 +61,7 @@ impl Default for VmOptions {
             sample_period: 97,
             step_limit: 2_000_000_000,
             call_depth_limit: 10_000,
+            engine: Engine::default(),
         }
     }
 }
@@ -73,6 +89,12 @@ impl VmOptions {
             sample_dcache: true,
             ..Self::default()
         }
+    }
+
+    /// The same options, forced onto the structured (reference) engine.
+    pub fn structured(mut self) -> Self {
+        self.engine = Engine::Structured;
+        self
     }
 }
 
@@ -177,14 +199,22 @@ pub fn run_func(
     args: &[Value],
     opts: &VmOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let mut vm = Vm::new(prog, opts.clone());
-    let exit = vm.call(entry, args)?;
-    let (stats, feedback) = vm.into_parts();
-    Ok(ExecOutcome {
-        exit,
-        stats,
-        feedback,
-    })
+    match opts.engine {
+        Engine::Decoded => {
+            let dec = crate::decode::DecodedProgram::new(prog);
+            crate::decode::run_func_decoded(prog, &dec, entry, args, opts)
+        }
+        Engine::Structured => {
+            let mut vm = Vm::new(prog, opts.clone());
+            let exit = vm.call(entry, args)?;
+            let (stats, feedback) = vm.into_parts();
+            Ok(ExecOutcome {
+                exit,
+                stats,
+                feedback,
+            })
+        }
+    }
 }
 
 struct Frame {
@@ -197,7 +227,7 @@ struct Frame {
 
 // Function-pointer values are encoded as addresses in a reserved range so
 // they are distinguishable from heap pointers.
-const FNPTR_BASE: u64 = 0xF000_0000_0000_0000;
+pub(crate) const FNPTR_BASE: u64 = 0xF000_0000_0000_0000;
 
 struct Vm<'p> {
     prog: &'p Program,
@@ -249,10 +279,14 @@ impl<'p> Vm<'p> {
         self.stats.cache = self.cache.stats().clone();
         self.stats.allocated_bytes = self.heap.total_allocated();
         self.stats.peak_live_bytes = self.heap.peak_live();
-        // fold the stride histograms into the feedback file
+        // fold the stride histograms into the feedback file; ties on
+        // the count break toward the smallest delta so both engines
+        // (and repeated runs) report the same dominant stride
         for (at, hist) in &self.stride_hist {
             let total: u64 = hist.values().sum();
-            let Some((&dominant, &hits)) = hist.iter().max_by_key(|(_, c)| **c) else {
+            let Some((&dominant, &hits)) =
+                hist.iter().max_by_key(|(&d, &c)| (c, std::cmp::Reverse(d)))
+            else {
                 continue;
             };
             let name = &self.prog.func(at.func).name;
@@ -501,8 +535,7 @@ impl<'p> Vm<'p> {
                         self.stats.cycles += self.mem_access(at, a, fp, true);
                     }
                     Instr::AddrOfGlobal { dst, global } => {
-                        frame.regs[dst.0 as usize] =
-                            Value::Ptr(self.global_addr[global.index()]);
+                        frame.regs[dst.0 as usize] = Value::Ptr(self.global_addr[global.index()]);
                     }
                     Instr::Alloc {
                         dst,
@@ -515,8 +548,7 @@ impl<'p> Vm<'p> {
                         let a = self.heap.alloc(bytes);
                         self.stats.cycles += self.opts.cost.alloc_cost;
                         if *zeroed {
-                            self.stats.cycles +=
-                                bytes / 8 * self.opts.cost.zero_per_8bytes;
+                            self.stats.cycles += bytes / 8 * self.opts.cost.zero_per_8bytes;
                         }
                         frame.regs[dst.0 as usize] = Value::Ptr(a);
                     }
@@ -598,8 +630,7 @@ impl<'p> Vm<'p> {
                         }
                     }
                     Instr::FuncAddr { dst, func } => {
-                        frame.regs[dst.0 as usize] =
-                            Value::Ptr(FNPTR_BASE + func.0 as u64);
+                        frame.regs[dst.0 as usize] = Value::Ptr(FNPTR_BASE + func.0 as u64);
                     }
                     Instr::Jump { target } => {
                         let from = frame.block;
@@ -979,7 +1010,10 @@ bb3:
         let fp = out.feedback.func("main").expect("profile");
         let total_misses: u64 = fp.samples.values().map(|s| s.misses).sum();
         // 64-byte structs, 64-byte lines: every element is a fresh line
-        assert!(total_misses > 60_000, "expected many misses, got {total_misses}");
+        assert!(
+            total_misses > 60_000,
+            "expected many misses, got {total_misses}"
+        );
         assert!(out.stats.cache.accesses > 65_000);
     }
 
@@ -1047,13 +1081,67 @@ bb0:
 }
 "#;
         let p = parse(src).expect("parse");
-        let opts = VmOptions {
-            step_limit: 1000,
-            ..VmOptions::default()
-        };
-        match run(&p, &opts) {
-            Err(ExecError::StepLimit) => {}
-            other => panic!("expected step limit error, got {:?}", other.map(|o| o.exit)),
+        for engine in [Engine::Decoded, Engine::Structured] {
+            let opts = VmOptions {
+                step_limit: 1000,
+                engine,
+                ..VmOptions::default()
+            };
+            match run(&p, &opts) {
+                Err(ExecError::StepLimit) => {}
+                other => panic!(
+                    "{engine:?}: expected step limit error, got {:?}",
+                    other.map(|o| o.exit)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn engines_count_instructions_identically() {
+        // both engines must charge exactly one step per executed IR
+        // instruction, so a step limit of N admits the same prefix
+        let src = r#"
+func main() -> i64 {
+bb0:
+  r0 = 0
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 20
+  br r2, bb2, bb3
+bb2:
+  r0 = add r0, r1
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  ret r0
+}
+"#;
+        let p = parse(src).expect("parse");
+        let dec = run(&p, &VmOptions::default()).expect("decoded");
+        let str_ = run(&p, &VmOptions::default().structured()).expect("structured");
+        assert_eq!(dec.stats.instructions, str_.stats.instructions);
+        assert_eq!(dec.stats.cycles, str_.stats.cycles);
+        assert_eq!(dec.exit, str_.exit);
+        // the limit bites at exactly the same instruction on both
+        let limit = dec.stats.instructions - 1;
+        for engine in [Engine::Decoded, Engine::Structured] {
+            let opts = VmOptions {
+                step_limit: limit,
+                engine,
+                ..VmOptions::default()
+            };
+            assert!(
+                matches!(run(&p, &opts), Err(ExecError::StepLimit)),
+                "{engine:?} should hit the limit"
+            );
+            let opts = VmOptions {
+                step_limit: limit + 1,
+                engine,
+                ..VmOptions::default()
+            };
+            assert!(run(&p, &opts).is_ok(), "{engine:?} should finish");
         }
     }
 

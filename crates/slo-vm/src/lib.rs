@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod cost;
+pub mod decode;
 pub mod heap;
 pub mod interp;
 pub mod profile;
@@ -41,7 +42,8 @@ pub mod value;
 
 pub use cache::{AccessResult, CacheConfig, CacheLevelConfig, CacheSim, CacheStats, LevelStats};
 pub use cost::CostModel;
+pub use decode::{run_decoded, run_func_decoded, DecodedProgram};
 pub use heap::{Heap, MemError, ScalarValue};
-pub use interp::{run, run_func, ExecError, ExecOutcome, ExecStats, VmOptions};
+pub use interp::{run, run_func, Engine, ExecError, ExecOutcome, ExecStats, VmOptions};
 pub use profile::{DcacheSample, Feedback, FeedbackParseError, FuncProfile};
 pub use value::Value;

@@ -166,10 +166,7 @@ impl Feedback {
 
     /// Total edge-count volume (a cheap size proxy used in tests).
     pub fn total_edge_count(&self) -> u64 {
-        self.funcs
-            .values()
-            .flat_map(|f| f.edges.values())
-            .sum()
+        self.funcs.values().flat_map(|f| f.edges.values()).sum()
     }
 
     /// Serialize to the line-oriented text format.

@@ -64,10 +64,7 @@ pub fn build_config(cfg: ArtConfig) -> Program {
 
     let (f1, f1_ty) = pb.record(
         "f1_neuron",
-        F1_FIELDS
-            .iter()
-            .map(|n| Field::new(*n, f64t))
-            .collect(),
+        F1_FIELDS.iter().map(|n| Field::new(*n, f64t)).collect(),
     );
     let pf1 = pb.ptr(f1_ty);
     let (f2, f2_ty) = pb.record(

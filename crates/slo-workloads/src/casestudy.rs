@@ -100,8 +100,8 @@ pub fn spec2006_cpp(n: i64, iters: i64) -> Program {
 pub fn cpp_grouped_order() -> Vec<&'static str> {
     let mut order = vec!["h0", "h1", "h2", "h3"];
     let rest = [
-        "c1", "c2", "c3", "c4", "c5", "c7", "c8", "c9", "c10", "c11", "c13", "c14", "c15",
-        "c16", "c17", "c19",
+        "c1", "c2", "c3", "c4", "c5", "c7", "c8", "c9", "c10", "c11", "c13", "c14", "c15", "c16",
+        "c17", "c19",
     ];
     order.extend(rest);
     order
@@ -240,8 +240,7 @@ mod tests {
     fn forced_split_plan_applies_to_case_programs() {
         // sanity: forced_split integrates with apply_plan on a case program
         let p = spec2006_cpp(500, 2);
-        let plan =
-            slo_transform::forced_split(&p, "big_s", &["c1", "c2", "c3"]).expect("plan");
+        let plan = slo_transform::forced_split(&p, "big_s", &["c1", "c2", "c3"]).expect("plan");
         let q = apply_plan(&p, &plan).expect("apply");
         assert_valid(&q);
         let before = run(&p, &VmOptions::default()).expect("before");

@@ -103,7 +103,18 @@ pub fn generate(spec: &CensusSpec, work_scale: u64) -> Program {
 
         let fid = pb.declare(format!("{}_use{}", spec.name, i), vec![i64t], i64t);
         use_funcs.push(fid);
-        build_use_fn(&mut pb, fid, rid, rty, prty, nfields as u32, kind, aux, fwrite, pu8);
+        build_use_fn(
+            &mut pb,
+            fid,
+            rid,
+            rty,
+            prty,
+            nfields as u32,
+            kind,
+            aux,
+            fwrite,
+            pu8,
+        );
     }
 
     // main: call every use function `work_scale` times, sum results
@@ -272,12 +283,9 @@ mod tests {
     fn census_types_not_transformed() {
         let p = generate(&spec(), 1);
         let ipa = analyze_program(&p, &LegalityConfig::default());
-        let graphs =
-            slo_analysis::schemes::affinity_graphs(&p, &slo_analysis::WeightScheme::Ispbo);
-        let freqs = slo_analysis::schemes::block_frequencies(
-            &p,
-            &slo_analysis::WeightScheme::Ispbo,
-        );
+        let graphs = slo_analysis::schemes::affinity_graphs(&p, &slo_analysis::WeightScheme::Ispbo);
+        let freqs =
+            slo_analysis::schemes::block_frequencies(&p, &slo_analysis::WeightScheme::Ispbo);
         let counts = slo_analysis::affinity::build_field_counts(&p, &freqs);
         let plan = slo_transform::decide(
             &p,

@@ -31,10 +31,7 @@ pub fn build(n: i64, ops: i64) -> Program {
     let mut pb = ProgramBuilder::new();
     let i64t = pb.scalar(ScalarKind::I64);
     let void = pb.void();
-    let fields: Vec<Field> = CONN_FIELDS
-        .iter()
-        .map(|f| Field::new(*f, i64t))
-        .collect();
+    let fields: Vec<Field> = CONN_FIELDS.iter().map(|f| Field::new(*f, i64t)).collect();
     let (conn, conn_ty) = pb.record("conn", fields);
     let pconn = pb.ptr(conn_ty);
 

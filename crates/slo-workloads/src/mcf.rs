@@ -279,86 +279,110 @@ pub fn build_config(cfg: McfConfig) -> Program {
     // what makes the paper's DMISS column a poor hotness predictor.
     const SUBSET: i64 = 96;
     // t1 = 0.400 {pred, potential}  (subset walk; pred chase for potential)
-    let refresh1 = phase_fn(&mut pb, "refresh1", pnode, i64t, |fb, nodes, trip, n, it| {
-        // the walked window is L1-resident within one call (low pred
-        // misses) but rotates every iteration, so the pred-chase targets
-        // (assigned randomly at init) sweep the whole array
-        let mix = fb.mul(it.into(), Operand::int(SUBSET));
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
-            let base = fb.add(idx.into(), mix.into());
-            let widx = fb.bin(slo_ir::BinOp::Rem, base.into(), n.into());
-            let e = fb.index_addr(nodes, node_ty, widx.into());
-            let p = fb.load_field(e.into(), node, nf("pred"));
-            fb.call_void(bump_pot, vec![e.into(), p.into()]);
-        });
-    });
-    // t2 = 0.337 {pred, potential, mark, time}; time on a random node
-    let refresh2 = phase_fn(&mut pb, "refresh2", pnode, i64t, |fb, nodes, trip, n, it| {
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
-            let e = fb.index_addr(nodes, node_ty, idx.into());
-            let mix = fb.mul(it.into(), Operand::int(1_000_003));
-            let seed = fb.add(i.into(), mix.into());
-            let j = lcg_index(fb, seed, n);
-            let e2 = fb.index_addr(nodes, node_ty, j.into());
-            let t = fb.load_field(e2.into(), node, nf("time"));
-            let v = fb.call(read_pot, vec![e.into()]);
-            let s = fb.add(t.into(), v.into());
-            fb.store_field(e.into(), node, nf("mark"), s.into());
-            let p = fb.load_field(e.into(), node, nf("pred"));
-            let c = fb.cmp(CmpOp::Ne, p.into(), Operand::null());
-            fb.if_then(c.into(), |fb| {
-                let nt = fb.add(t.into(), Operand::int(1));
-                fb.store_field(e2.into(), node, nf("time"), nt.into());
+    let refresh1 = phase_fn(
+        &mut pb,
+        "refresh1",
+        pnode,
+        i64t,
+        |fb, nodes, trip, n, it| {
+            // the walked window is L1-resident within one call (low pred
+            // misses) but rotates every iteration, so the pred-chase targets
+            // (assigned randomly at init) sweep the whole array
+            let mix = fb.mul(it.into(), Operand::int(SUBSET));
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
+                let base = fb.add(idx.into(), mix.into());
+                let widx = fb.bin(slo_ir::BinOp::Rem, base.into(), n.into());
+                let e = fb.index_addr(nodes, node_ty, widx.into());
+                let p = fb.load_field(e.into(), node, nf("pred"));
+                fb.call_void(bump_pot, vec![e.into(), p.into()]);
             });
-        });
-    });
+        },
+    );
+    // t2 = 0.337 {pred, potential, mark, time}; time on a random node
+    let refresh2 = phase_fn(
+        &mut pb,
+        "refresh2",
+        pnode,
+        i64t,
+        |fb, nodes, trip, n, it| {
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
+                let e = fb.index_addr(nodes, node_ty, idx.into());
+                let mix = fb.mul(it.into(), Operand::int(1_000_003));
+                let seed = fb.add(i.into(), mix.into());
+                let j = lcg_index(fb, seed, n);
+                let e2 = fb.index_addr(nodes, node_ty, j.into());
+                let t = fb.load_field(e2.into(), node, nf("time"));
+                let v = fb.call(read_pot, vec![e.into()]);
+                let s = fb.add(t.into(), v.into());
+                fb.store_field(e.into(), node, nf("mark"), s.into());
+                let p = fb.load_field(e.into(), node, nf("pred"));
+                let c = fb.cmp(CmpOp::Ne, p.into(), Operand::null());
+                fb.if_then(c.into(), |fb| {
+                    let nt = fb.add(t.into(), Operand::int(1));
+                    fb.store_field(e2.into(), node, nf("time"), nt.into());
+                });
+            });
+        },
+    );
     // t3 = 0.263 {potential, basic_arc}; potential random, basic_arc subset.
     // The subset nodes' basic_arc pointers land in a small arc range (set
     // up by init), so the arc side stays cached and the L3 pressure is
     // carried by the node array alone.
-    let scan_arcs = phase_fn(&mut pb, "scan_arcs", pnode, i64t, |fb, nodes, trip, n, it| {
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
-            let e = fb.index_addr(nodes, node_ty, idx.into());
-            let ba = fb.load_field(e.into(), node, nf("basic_arc"));
-            let cost0 = fb.load_field(ba.into(), arc, 0);
-            // touch every arc field: the arc type then has no cold fields
-            // and stays untransformed even when the relaxed analysis makes
-            // it legal (the paper: the transformed set is constant)
-            let ai = fb.load_field(ba.into(), arc, 3);
-            let af = fb.load_field(ba.into(), arc, 6);
-            let ao = fb.load_field(ba.into(), arc, 7);
-            let t1s = fb.add(ai.into(), af.into());
-            let t2s = fb.add(t1s.into(), ao.into());
-            let tl = fb.load_field(ba.into(), arc, 1);
-            let hd = fb.load_field(ba.into(), arc, 2);
-            let no_ = fb.load_field(ba.into(), arc, 4);
-            let ni_ = fb.load_field(ba.into(), arc, 5);
-            let c1 = fb.cmp(CmpOp::Ne, tl.into(), hd.into());
-            let c2 = fb.cmp(CmpOp::Ne, no_.into(), ni_.into());
-            let t3s = fb.add(c1.into(), c2.into());
-            let t4s = fb.add(t2s.into(), t3s.into());
-            let mix5 = fb.bin(slo_ir::BinOp::And, t4s.into(), Operand::int(1));
-            let cost = fb.add(cost0.into(), mix5.into());
-            let mix = fb.mul(it.into(), Operand::int(999_983));
-            let seed = fb.add(i.into(), mix.into());
-            let j = lcg_index(fb, seed, n);
-            let e2 = fb.index_addr(nodes, node_ty, j.into());
-            fb.call_void(scan_pot, vec![e2.into(), cost.into()]);
-        });
-    });
+    let scan_arcs = phase_fn(
+        &mut pb,
+        "scan_arcs",
+        pnode,
+        i64t,
+        |fb, nodes, trip, n, it| {
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
+                let e = fb.index_addr(nodes, node_ty, idx.into());
+                let ba = fb.load_field(e.into(), node, nf("basic_arc"));
+                let cost0 = fb.load_field(ba.into(), arc, 0);
+                // touch every arc field: the arc type then has no cold fields
+                // and stays untransformed even when the relaxed analysis makes
+                // it legal (the paper: the transformed set is constant)
+                let ai = fb.load_field(ba.into(), arc, 3);
+                let af = fb.load_field(ba.into(), arc, 6);
+                let ao = fb.load_field(ba.into(), arc, 7);
+                let t1s = fb.add(ai.into(), af.into());
+                let t2s = fb.add(t1s.into(), ao.into());
+                let tl = fb.load_field(ba.into(), arc, 1);
+                let hd = fb.load_field(ba.into(), arc, 2);
+                let no_ = fb.load_field(ba.into(), arc, 4);
+                let ni_ = fb.load_field(ba.into(), arc, 5);
+                let c1 = fb.cmp(CmpOp::Ne, tl.into(), hd.into());
+                let c2 = fb.cmp(CmpOp::Ne, no_.into(), ni_.into());
+                let t3s = fb.add(c1.into(), c2.into());
+                let t4s = fb.add(t2s.into(), t3s.into());
+                let mix5 = fb.bin(slo_ir::BinOp::And, t4s.into(), Operand::int(1));
+                let cost = fb.add(cost0.into(), mix5.into());
+                let mix = fb.mul(it.into(), Operand::int(999_983));
+                let seed = fb.add(i.into(), mix.into());
+                let j = lcg_index(fb, seed, n);
+                let e2 = fb.index_addr(nodes, node_ty, j.into());
+                fb.call_void(scan_pot, vec![e2.into(), cost.into()]);
+            });
+        },
+    );
     // t4 = 0.196 {mark} (subset: hot, cached)
-    let price1 = phase_fn(&mut pb, "price1", pnode, i64t, |fb, nodes, trip, _n, _it| {
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
-            let e = fb.index_addr(nodes, node_ty, idx.into());
-            let mk = fb.load_field(e.into(), node, nf("mark"));
-            let nm = fb.add(mk.into(), Operand::int(1));
-            fb.store_field(e.into(), node, nf("mark"), nm.into());
-        });
-    });
+    let price1 = phase_fn(
+        &mut pb,
+        "price1",
+        pnode,
+        i64t,
+        |fb, nodes, trip, _n, _it| {
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), Operand::int(SUBSET));
+                let e = fb.index_addr(nodes, node_ty, idx.into());
+                let mk = fb.load_field(e.into(), node, nf("mark"));
+                let nm = fb.add(mk.into(), Operand::int(1));
+                fb.store_field(e.into(), node, nf("mark"), nm.into());
+            });
+        },
+    );
     // t5 = 0.136 {basic_arc, child} (subset)
     let tree1 = phase_fn(&mut pb, "tree1", pnode, i64t, |fb, nodes, trip, _n, _it| {
         fb.count_loop(trip.into(), |fb, i| {
@@ -416,24 +440,36 @@ pub fn build_config(cfg: McfConfig) -> Program {
         });
     });
     // t9 = 0.031 {depth}, t10 = 0.028 {flow}
-    let depth_scan = phase_fn(&mut pb, "depth_scan", pnode, i64t, |fb, nodes, trip, n, _it| {
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), n.into());
-            let e = fb.index_addr(nodes, node_ty, idx.into());
-            let d = fb.load_field(e.into(), node, nf("depth"));
-            let nd = fb.add(d.into(), Operand::int(1));
-            fb.store_field(e.into(), node, nf("depth"), nd.into());
-        });
-    });
-    let flow_scan = phase_fn(&mut pb, "flow_scan", pnode, i64t, |fb, nodes, trip, n, _it| {
-        fb.count_loop(trip.into(), |fb, i| {
-            let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), n.into());
-            let e = fb.index_addr(nodes, node_ty, idx.into());
-            let f = fb.load_field(e.into(), node, nf("flow"));
-            let nd = fb.add(f.into(), Operand::int(1));
-            fb.store_field(e.into(), node, nf("flow"), nd.into());
-        });
-    });
+    let depth_scan = phase_fn(
+        &mut pb,
+        "depth_scan",
+        pnode,
+        i64t,
+        |fb, nodes, trip, n, _it| {
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), n.into());
+                let e = fb.index_addr(nodes, node_ty, idx.into());
+                let d = fb.load_field(e.into(), node, nf("depth"));
+                let nd = fb.add(d.into(), Operand::int(1));
+                fb.store_field(e.into(), node, nf("depth"), nd.into());
+            });
+        },
+    );
+    let flow_scan = phase_fn(
+        &mut pb,
+        "flow_scan",
+        pnode,
+        i64t,
+        |fb, nodes, trip, n, _it| {
+            fb.count_loop(trip.into(), |fb, i| {
+                let idx = fb.bin(slo_ir::BinOp::Rem, i.into(), n.into());
+                let e = fb.index_addr(nodes, node_ty, idx.into());
+                let f = fb.load_field(e.into(), node, nf("flow"));
+                let nd = fb.add(f.into(), Operand::int(1));
+                fb.store_field(e.into(), node, nf("flow"), nd.into());
+            });
+        },
+    );
 
     // ---- rare fields: called once from main ------------------------------
     // (a separate compilation unit, so the FE/IPA summary aggregation is
@@ -631,7 +667,11 @@ mod tests {
     use slo_ir::verify::assert_valid;
 
     fn small() -> Program {
-        build_config(McfConfig { n: 600, iters: 40, skew: 0 })
+        build_config(McfConfig {
+            n: 600,
+            iters: 40,
+            skew: 0,
+        })
     }
 
     #[test]
@@ -652,10 +692,7 @@ mod tests {
         // per-unit FE summaries really are partial
         let sums = slo_analysis::legality::analyze_all_units(&p);
         let node = p.types.record_by_name("node").expect("node");
-        let units_touching_node = sums
-            .iter()
-            .filter(|s| s.types.contains_key(&node))
-            .count();
+        let units_touching_node = sums.iter().filter(|s| s.types.contains_key(&node)).count();
         assert!(units_touching_node >= 2, "node is used in several units");
     }
 
@@ -692,14 +729,8 @@ mod tests {
             .expect("profile run")
             .feedback;
         let node = p.types.record_by_name("node").expect("node");
-        let rel = slo_analysis::relative_hotness(
-            &p,
-            node,
-            &slo_analysis::WeightScheme::Pbo(&fb),
-        );
-        let f = |n: &str| {
-            rel[NODE_FIELDS.iter().position(|x| *x == n).expect("field")]
-        };
+        let rel = slo_analysis::relative_hotness(&p, node, &slo_analysis::WeightScheme::Pbo(&fb));
+        let f = |n: &str| rel[NODE_FIELDS.iter().position(|x| *x == n).expect("field")];
         assert_eq!(f("potential"), 100.0, "potential must be hottest: {rel:?}");
         assert!(f("pred") > 55.0 && f("pred") < 90.0, "pred {}", f("pred"));
         assert!(f("mark") > 35.0 && f("mark") < 70.0, "mark {}", f("mark"));

@@ -52,8 +52,8 @@ impl MoldynConfig {
 
 /// The particle fields in declaration order.
 pub const PARTICLE_FIELDS: [&str; 15] = [
-    "x", "y", "z", "fx", "fy", "fz", "vx", "vy", "vz", "bflag", "bcount", "id", "box_id",
-    "flags", "seed",
+    "x", "y", "z", "fx", "fy", "fz", "vx", "vy", "vz", "bflag", "bcount", "id", "box_id", "flags",
+    "seed",
 ];
 
 /// Build the moldyn model for an input set.
@@ -301,7 +301,12 @@ pub fn build_config(cfg: MoldynConfig) -> Program {
         fb.count_loop(Operand::int(cfg.steps), |fb, st| {
             fb.call_void(
                 forces,
-                vec![parts.into(), n.into(), Operand::int(cfg.neighbors), st.into()],
+                vec![
+                    parts.into(),
+                    n.into(),
+                    Operand::int(cfg.neighbors),
+                    st.into(),
+                ],
             );
             fb.call_void(integrate, vec![parts.into(), n.into()]);
         });
@@ -407,12 +412,7 @@ mod tests {
             let rel = slo_analysis::relative_hotness(&p, particle, &scheme);
             for f in ["id", "box_id", "flags", "seed"] {
                 let v = rel[particle_field(f) as usize];
-                assert!(
-                    v < 7.5,
-                    "{} must be cold under {}: {v}",
-                    f,
-                    scheme.name()
-                );
+                assert!(v < 7.5, "{} must be cold under {}: {v}", f, scheme.name());
             }
             // positions stay hot
             assert!(rel[particle_field("x") as usize] > 50.0);

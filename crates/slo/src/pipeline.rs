@@ -12,7 +12,9 @@
 //! Each phase is timed so the §2.5 compile-time overhead experiment can
 //! be regenerated.
 
-use slo_analysis::affinity::{build_affinity_graphs, build_field_counts, AffinityGraph, FieldCounts};
+use slo_analysis::affinity::{
+    build_affinity_graphs, build_field_counts, AffinityGraph, FieldCounts,
+};
 use slo_analysis::dcache::FieldDcache;
 use slo_analysis::ipa::{aggregate, IpaResult, LegalityConfig};
 use slo_analysis::legality::analyze_all_units;
@@ -143,6 +145,10 @@ pub struct Evaluation {
     pub baseline_cycles: u64,
     /// Cycles of the transformed program.
     pub optimized_cycles: u64,
+    /// Simulated instructions retired by the untransformed program.
+    pub baseline_instructions: u64,
+    /// Simulated instructions retired by the transformed program.
+    pub optimized_instructions: u64,
 }
 
 impl Evaluation {
@@ -157,6 +163,13 @@ impl Evaluation {
 }
 
 /// Run both versions on the simulated machine and compare cycle counts.
+///
+/// Both programs execute on the pre-decoded engine by default
+/// ([`slo_vm::Engine::Decoded`], the [`slo_vm::VmOptions`] default);
+/// pass `VmOptions::default().structured()` to force the structured
+/// reference interpreter. The two engines are observationally identical
+/// (same exit value, cycle count, and profile), so the choice only
+/// affects host wall time.
 ///
 /// # Errors
 ///
@@ -176,6 +189,8 @@ pub fn evaluate(
     Ok(Evaluation {
         baseline_cycles: b.stats.cycles,
         optimized_cycles: o.stats.cycles,
+        baseline_instructions: b.stats.instructions,
+        optimized_instructions: o.stats.instructions,
     })
 }
 
@@ -220,8 +235,7 @@ bb3:
     #[test]
     fn end_to_end_compile() {
         let p = parse(SRC).expect("parse");
-        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
-            .expect("compile");
+        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("compile");
         assert_valid(&res.program);
         assert_eq!(res.plan.num_transformed(), 1);
         let elem = p.types.record_by_name("elem").expect("elem");
@@ -233,10 +247,8 @@ bb3:
     #[test]
     fn evaluation_guards_semantics() {
         let p = parse(SRC).expect("parse");
-        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
-            .expect("compile");
-        let eval =
-            evaluate(&p, &res.program, &slo_vm::VmOptions::default()).expect("evaluate");
+        let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("compile");
+        let eval = evaluate(&p, &res.program, &slo_vm::VmOptions::default()).expect("evaluate");
         assert!(eval.baseline_cycles > 0);
         assert!(eval.optimized_cycles > 0);
     }
@@ -262,8 +274,7 @@ bb3:
     #[test]
     fn timings_populated() {
         let p = parse(SRC).expect("parse");
-        let res = compile(&p, &WeightScheme::Spbo, &PipelineConfig::default())
-            .expect("compile");
+        let res = compile(&p, &WeightScheme::Spbo, &PipelineConfig::default()).expect("compile");
         // sanity: phases took measurable (>= 0) time and the struct is
         // plumbed; no absolute expectations
         let t = res.timings;
@@ -275,11 +286,15 @@ bb3:
         let e = Evaluation {
             baseline_cycles: 1500,
             optimized_cycles: 1000,
+            baseline_instructions: 0,
+            optimized_instructions: 0,
         };
         assert!((e.speedup_percent() - 50.0).abs() < 1e-9);
         let e = Evaluation {
             baseline_cycles: 900,
             optimized_cycles: 1000,
+            baseline_instructions: 0,
+            optimized_instructions: 0,
         };
         assert!(e.speedup_percent() < 0.0);
     }

@@ -58,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // write the VCG control file next to the binary
     let vcg = render_vcg(&prog, particle, &graphs[&particle]);
     std::fs::write("particle.vcg", &vcg)?;
-    println!("\nVCG control file written to particle.vcg ({} bytes)", vcg.len());
+    println!(
+        "\nVCG control file written to particle.vcg ({} bytes)",
+        vcg.len()
+    );
     Ok(())
 }

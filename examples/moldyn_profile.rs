@@ -30,10 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let names = |t: &TypeTransform| -> Vec<&str> {
         match t {
-            TypeTransform::Split { cold, .. } => cold
-                .iter()
-                .map(|&f| PARTICLE_FIELDS[f as usize])
-                .collect(),
+            TypeTransform::Split { cold, .. } => {
+                cold.iter().map(|&f| PARTICLE_FIELDS[f as usize]).collect()
+            }
             _ => vec![],
         }
     };

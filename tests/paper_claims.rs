@@ -2,12 +2,10 @@
 //! instances of the workloads (the bench binaries run the full-size
 //! versions).
 
-use slo::analysis::{
-    analyze_program, correlation, relative_hotness, LegalityConfig, WeightScheme,
-};
+use slo::analysis::{analyze_program, correlation, relative_hotness, LegalityConfig, WeightScheme};
 use slo::pipeline::{collect_profile, compile, evaluate, PipelineConfig};
 use slo::vm::VmOptions;
-use slo_workloads::{census, mcf, InputSet, CENSUS_SPECS};
+use slo_workloads::{census, mcf, CENSUS_SPECS};
 
 /// Table 1: every census benchmark reproduces its strict/relaxed counts.
 #[test]
@@ -32,9 +30,13 @@ fn table1_census_counts_reproduce() {
 /// *transformed* types stays exactly the same.
 #[test]
 fn relaxation_does_not_change_transformed_set() {
-    let p = mcf::build_config(mcf::McfConfig { n: 800, iters: 30, skew: 0,});
-    let strict = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default())
-        .expect("strict compile");
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 800,
+        iters: 30,
+        skew: 0,
+    });
+    let strict =
+        compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("strict compile");
     let relaxed = compile(
         &p,
         &WeightScheme::Ispbo,
@@ -58,7 +60,11 @@ fn relaxation_does_not_change_transformed_set() {
 /// static schemes are ranked sensibly against it.
 #[test]
 fn table2_hotness_shape() {
-    let p = mcf::build_config(mcf::McfConfig { n: 1_200, iters: 60, skew: 0,});
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 1_200,
+        iters: 60,
+        skew: 0,
+    });
     let node = p.types.record_by_name("node").expect("node");
     let fb = collect_profile(&p).expect("profile");
     let pbo = relative_hotness(&p, node, &WeightScheme::Pbo(&fb));
@@ -83,11 +89,19 @@ fn table2_hotness_shape() {
 fn table3_transformations_speed_up_small_instances() {
     // mcf: splitting (small instance is L2/L3-resident, so the gain is
     // smaller than the full-size run; it must at least not regress much)
-    let p = mcf::build_config(mcf::McfConfig { n: 3_000, iters: 30, skew: 0,});
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 3_000,
+        iters: 30,
+        skew: 0,
+    });
     let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("mcf");
     assert_eq!(res.plan.num_transformed(), 1);
     let e = evaluate(&p, &res.program, &VmOptions::default()).expect("mcf eval");
-    assert!(e.speedup_percent() > -8.0, "mcf small: {:.1}%", e.speedup_percent());
+    assert!(
+        e.speedup_percent() > -8.0,
+        "mcf small: {:.1}%",
+        e.speedup_percent()
+    );
 
     // art: peeling must win even at small sizes (density on every pass)
     let p = slo_workloads::art::build_config(slo_workloads::art::ArtConfig {
@@ -97,14 +111,22 @@ fn table3_transformations_speed_up_small_instances() {
     let res = compile(&p, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("art");
     assert_eq!(res.plan.num_transformed(), 1);
     let e = evaluate(&p, &res.program, &VmOptions::default()).expect("art eval");
-    assert!(e.speedup_percent() > 0.0, "art small: {:.1}%", e.speedup_percent());
+    assert!(
+        e.speedup_percent() > 0.0,
+        "art small: {:.1}%",
+        e.speedup_percent()
+    );
 }
 
 /// §2.4: forcing hot fields out of the root degrades performance, and
 /// splitting out two hot fields is worse than one.
 #[test]
 fn forced_hot_split_degrades() {
-    let p = mcf::build_config(mcf::McfConfig { n: 12_000, iters: 25, skew: 0,});
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 12_000,
+        iters: 25,
+        skew: 0,
+    });
     let base_plan = slo_transform::forced_split(
         &p,
         "node",
@@ -116,7 +138,14 @@ fn forced_hot_split_degrades() {
     let bad_plan = slo_transform::forced_split(
         &p,
         "node",
-        &["number", "sibling_prev", "firstout", "firstin", "pred", "potential"],
+        &[
+            "number",
+            "sibling_prev",
+            "firstout",
+            "firstin",
+            "pred",
+            "potential",
+        ],
     )
     .expect("bad plan");
     let bad = slo_transform::apply_plan(&p, &bad_plan).expect("bad split");
@@ -169,7 +198,11 @@ fn moldyn_pbo_splits_more_boundary_fields() {
 /// workload, end to end.
 #[test]
 fn advisor_report_end_to_end() {
-    let p = mcf::build_config(mcf::McfConfig { n: 800, iters: 30, skew: 0,});
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 800,
+        iters: 30,
+        skew: 0,
+    });
     let out = slo::vm::run(&p, &VmOptions::profiling()).expect("run");
     let scheme = WeightScheme::Pbo(&out.feedback);
     let ipa = analyze_program(&p, &LegalityConfig::default());
@@ -197,7 +230,9 @@ fn advisor_report_end_to_end() {
     // node is the hottest type: it is reported first
     let node_pos = report.find("Type     : node").expect("node");
     for other in ["arc", "basket", "network", "stats"] {
-        let pos = report.find(&format!("Type     : {other}")).expect("type present");
+        let pos = report
+            .find(&format!("Type     : {other}"))
+            .expect("type present");
         assert!(node_pos < pos, "node must be first, before {other}");
     }
     // VCG output is well-formed for every type
@@ -212,7 +247,11 @@ fn advisor_report_end_to_end() {
 /// collection phase wrote).
 #[test]
 fn feedback_file_roundtrip_through_text() {
-    let p = mcf::build_config(mcf::McfConfig { n: 600, iters: 10, skew: 0,});
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 600,
+        iters: 10,
+        skew: 0,
+    });
     let fb = collect_profile(&p).expect("profile");
     let text = fb.to_text();
     let back = slo::vm::Feedback::from_text(&text).expect("parse");
@@ -234,7 +273,11 @@ fn feedback_file_roundtrip_through_text() {
 /// dominant stride tracks the element size across the transformation.
 #[test]
 fn strides_track_element_size_across_split() {
-    let p = mcf::build_config(mcf::McfConfig { n: 1_000, iters: 20, skew: 0 });
+    let p = mcf::build_config(mcf::McfConfig {
+        n: 1_000,
+        iters: 20,
+        skew: 0,
+    });
     let node = p.types.record_by_name("node").expect("node");
     let size_before = p.types.layout_of(node).size;
     assert_eq!(size_before, 120);

@@ -12,7 +12,11 @@ fn small_suite() -> Vec<(&'static str, slo_ir::Program)> {
     vec![
         (
             "mcf",
-            mcf::build_config(mcf::McfConfig { n: 700, iters: 20, skew: 0,}),
+            mcf::build_config(mcf::McfConfig {
+                n: 700,
+                iters: 20,
+                skew: 0,
+            }),
         ),
         (
             "art",
@@ -79,8 +83,8 @@ fn transformed_programs_roundtrip_through_text() {
         let res = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())
             .unwrap_or_else(|e| panic!("{name}: compile: {e}"));
         let text = slo_ir::printer::print_program(&res.program);
-        let back = slo_ir::parser::parse(&text)
-            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        let back =
+            slo_ir::parser::parse(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
         assert_valid(&back);
         let a = slo::vm::run(&res.program, &VmOptions::default()).expect("transformed runs");
         let b = slo::vm::run(&back, &VmOptions::default()).expect("reparsed runs");
@@ -90,7 +94,11 @@ fn transformed_programs_roundtrip_through_text() {
 
 #[test]
 fn disabling_transformations_yields_identity() {
-    let prog = mcf::build_config(mcf::McfConfig { n: 500, iters: 10, skew: 0,});
+    let prog = mcf::build_config(mcf::McfConfig {
+        n: 500,
+        iters: 10,
+        skew: 0,
+    });
     let cfg = PipelineConfig {
         heuristics: Some(slo_transform::HeuristicsConfig {
             enable_peel: false,
@@ -111,9 +119,12 @@ fn disabling_transformations_yields_identity() {
 
 #[test]
 fn phase_timings_are_recorded() {
-    let prog = mcf::build_config(mcf::McfConfig { n: 500, iters: 10, skew: 0,});
-    let res = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())
-        .expect("compile");
+    let prog = mcf::build_config(mcf::McfConfig {
+        n: 500,
+        iters: 10,
+        skew: 0,
+    });
+    let res = compile(&prog, &WeightScheme::Ispbo, &PipelineConfig::default()).expect("compile");
     let t = res.timings;
     assert!(t.fe.as_nanos() > 0, "FE must take measurable time");
     assert!(t.ipa.as_nanos() > 0, "IPA must take measurable time");

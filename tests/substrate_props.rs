@@ -46,7 +46,7 @@ proptest! {
             match op {
                 HeapOp::Alloc(sz) => {
                     let a = h.alloc(sz);
-                    prop_assert!(a != 0 && a % 16 == 0);
+                    prop_assert!(a != 0 && a.is_multiple_of(16));
                     // no overlap with other live allocations
                     for (b, bsz, _) in &live {
                         prop_assert!(a + sz <= *b || *b + *bsz <= a,
@@ -98,14 +98,14 @@ proptest! {
 enum Shape {
     Work,
     If,
-    Loop(Box<Vec<Shape>>),
+    Loop(Vec<Shape>),
 }
 
 fn shape_strategy() -> impl Strategy<Value = Vec<Shape>> {
     let leaf = prop_oneof![Just(Shape::Work), Just(Shape::If)];
     prop::collection::vec(
         leaf.prop_recursive(3, 12, 4, |inner| {
-            prop::collection::vec(inner, 1..4).prop_map(|v| Shape::Loop(Box::new(v)))
+            prop::collection::vec(inner, 1..4).prop_map(Shape::Loop)
         }),
         1..5,
     )
@@ -116,10 +116,7 @@ fn build_shaped(shapes: &[Shape]) -> slo_ir::Program {
     let i64t = pb.scalar(ScalarKind::I64);
     let (rid, rty) = pb.record(
         "t",
-        vec![
-            slo_ir::Field::new("a", i64t),
-            slo_ir::Field::new("b", i64t),
-        ],
+        vec![slo_ir::Field::new("a", i64t), slo_ir::Field::new("b", i64t)],
     );
     let main = pb.declare("main", vec![], i64t);
     pb.define(main, |fb| {
@@ -237,7 +234,7 @@ proptest! {
         )
     ) {
         let mut g = AffinityGraph::new(RecordId(0), 6);
-        let mut want = vec![0.0f64; 6];
+        let mut want = [0.0f64; 6];
         for (fields, w) in &groups {
             g.add_group(fields, *w);
             for &f in fields {
