@@ -9,9 +9,12 @@
 //! on top of a deterministic splitmix64 RNG, so the suite runs the
 //! same case sequence on every machine.
 //!
-//! It intentionally does **not** implement shrinking: a failing case
-//! reports the case index and the per-test seed, which is enough to
-//! reproduce deterministically.
+//! Strategy-integrated shrinking is intentionally absent: a failing
+//! `proptest!` case reports the case index and the per-test seed, which
+//! is enough to reproduce deterministically. For callers that need an
+//! actual minimized artifact (the differential fuzzer writes textual-IR
+//! repros), [`shrink::minimize`] provides greedy delta-debugging over a
+//! caller-supplied reduction relation.
 
 use std::fmt;
 use std::rc::Rc;
@@ -723,6 +726,68 @@ pub mod prelude {
     }
 }
 
+// ---------------------------------------------------------------------------
+// shrinking
+// ---------------------------------------------------------------------------
+
+pub mod shrink {
+    //! Greedy delta-debugging minimization.
+    //!
+    //! Real proptest shrinks through its `ValueTree`s; this shim keeps
+    //! generation and shrinking decoupled instead: the caller supplies a
+    //! *reduction relation* (`candidates`) producing strictly simpler
+    //! variants of a value, and a *failure predicate* that must keep
+    //! holding. [`minimize`] walks the relation greedily to a local
+    //! minimum — every candidate of the result either stops failing or
+    //! is no longer produced.
+
+    /// Bookkeeping from one [`minimize`] run.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct ShrinkStats {
+        /// Reduction steps accepted (the value got simpler this many times).
+        pub accepted: usize,
+        /// Candidates tried in total (including rejected ones).
+        pub attempts: usize,
+    }
+
+    /// Greedily minimize `seed` while `still_fails` holds.
+    ///
+    /// `candidates` must return *simpler* variants of its input (the
+    /// relation must be well-founded, or the `max_attempts` cap ends the
+    /// walk). The first failing candidate of each round is accepted and
+    /// the round restarts from it, so the result is a local minimum of
+    /// the relation, not necessarily a global one — the classic ddmin
+    /// trade-off.
+    pub fn minimize<T, C, P>(
+        seed: T,
+        mut candidates: C,
+        mut still_fails: P,
+        max_attempts: usize,
+    ) -> (T, ShrinkStats)
+    where
+        C: FnMut(&T) -> Vec<T>,
+        P: FnMut(&T) -> bool,
+    {
+        let mut cur = seed;
+        let mut stats = ShrinkStats::default();
+        'outer: loop {
+            for cand in candidates(&cur) {
+                if stats.attempts >= max_attempts {
+                    break 'outer;
+                }
+                stats.attempts += 1;
+                if still_fails(&cand) {
+                    cur = cand;
+                    stats.accepted += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (cur, stats)
+    }
+}
+
 #[cfg(test)]
 mod shim_tests {
     use super::prelude::*;
@@ -751,5 +816,40 @@ mod shim_tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn minimize_reaches_local_minimum() {
+        // failure: the vec still contains a 7. Minimal form: [7].
+        let seed = vec![3, 1, 7, 4, 7, 9];
+        let (min, stats) = super::shrink::minimize(
+            seed,
+            |v: &Vec<i32>| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut c = v.clone();
+                        c.remove(i);
+                        c
+                    })
+                    .collect()
+            },
+            |v| v.contains(&7),
+            10_000,
+        );
+        assert_eq!(min, vec![7]);
+        assert!(stats.accepted >= 4);
+        assert!(stats.attempts >= stats.accepted);
+    }
+
+    #[test]
+    fn minimize_respects_attempt_cap() {
+        let (out, stats) = super::shrink::minimize(
+            100u64,
+            |&n: &u64| if n > 0 { vec![n - 1] } else { vec![] },
+            |_| true,
+            5,
+        );
+        assert_eq!(out, 95);
+        assert_eq!(stats.attempts, 5);
     }
 }

@@ -1,0 +1,240 @@
+//! The fuzz campaign driver: generate → check → (on failure) shrink →
+//! write a minimized textual-IR repro.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use proptest::TestRng;
+
+use crate::gen::{gen_program, GenConfig};
+use crate::hot::{check_hot_case, gen_hot_program};
+use crate::oracle::{check_program, CaseOutcome, OracleConfig, Violation};
+use crate::shrink::{shrink_failing, write_repro};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of cases to run.
+    pub cases: u64,
+    /// Base seed; case `i` uses a seed derived from it.
+    pub seed: u64,
+    /// Optional wall-clock budget; the campaign stops cleanly (and
+    /// successfully) when it is exhausted.
+    pub budget_secs: Option<u64>,
+    /// Every `hot_every`-th case is drawn from the directed hot-loop
+    /// family (cache invariant) instead of the general generator.
+    pub hot_every: u64,
+    /// Program-shape knobs for the general generator.
+    pub gen: GenConfig,
+    /// Oracle knobs (mutation injection for self-tests).
+    pub oracle: OracleConfig,
+    /// Where minimized repros are written on failure; `None` disables
+    /// artifact writing.
+    pub artifacts_dir: Option<PathBuf>,
+    /// Cap on shrinking attempts per failure.
+    pub shrink_attempts: usize,
+    /// Wall-clock cap on shrinking per failure. Hot-family cases are
+    /// expensive to re-check (two extra sampled runs per candidate),
+    /// so an attempt cap alone can mean many minutes of shrinking;
+    /// past this deadline the current best repro is kept.
+    pub shrink_secs: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            cases: 1000,
+            seed: 0,
+            budget_secs: None,
+            hot_every: 8,
+            gen: GenConfig::default(),
+            oracle: OracleConfig::default(),
+            artifacts_dir: Some(default_artifacts_dir()),
+            shrink_attempts: 4000,
+            shrink_secs: 60,
+        }
+    }
+}
+
+/// `fuzz/regressions/` at the workspace root.
+pub fn default_artifacts_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("fuzz")
+        .join("regressions")
+}
+
+/// Details of a failed case.
+#[derive(Debug)]
+pub struct FailureReport {
+    /// Index of the failing case.
+    pub case: u64,
+    /// Derived seed of the failing case.
+    pub case_seed: u64,
+    /// The violation on the *original* (unshrunk) program.
+    pub violation: Violation,
+    /// Minimized textual IR that still triggers the violation class.
+    pub minimized: String,
+    /// Line count of the minimized repro.
+    pub minimized_lines: usize,
+    /// Where the repro artifact was written, if anywhere.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Outcome of a campaign.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Cases completed (including the failing one, if any).
+    pub cases_run: u64,
+    /// Of those, directed hot-loop cases.
+    pub hot_cases: u64,
+    /// Total transform plans applied and differentially checked.
+    pub plans_applied: u64,
+    /// Total reorder/GVL variants checked.
+    pub variants_checked: u64,
+    /// Wall-clock seconds spent.
+    pub elapsed_secs: f64,
+    /// Whether the campaign stopped early on its time budget.
+    pub budget_exhausted: bool,
+    /// The first failure, if any. `None` means a clean campaign.
+    pub failure: Option<FailureReport>,
+}
+
+impl FuzzReport {
+    /// Whether the campaign found no violation.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+fn case_seed(base: u64, i: u64) -> u64 {
+    base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Run a fuzz campaign. Stops at the first violation (after shrinking
+/// and writing the repro artifact) or when the case/time budget is
+/// done.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let start = Instant::now();
+    let mut report = FuzzReport {
+        cases_run: 0,
+        hot_cases: 0,
+        plans_applied: 0,
+        variants_checked: 0,
+        elapsed_secs: 0.0,
+        budget_exhausted: false,
+        failure: None,
+    };
+    for i in 0..cfg.cases {
+        if let Some(budget) = cfg.budget_secs {
+            if start.elapsed().as_secs() >= budget {
+                report.budget_exhausted = true;
+                break;
+            }
+        }
+        let seed = case_seed(cfg.seed, i);
+        let is_hot = cfg.hot_every > 0 && i % cfg.hot_every == cfg.hot_every - 1;
+        let mut rng = TestRng::from_seed(seed);
+        type Checker = fn(&slo_ir::Program, &OracleConfig) -> Result<CaseOutcome, Violation>;
+        let (prog, check): (_, Checker) = if is_hot {
+            (gen_hot_program(&mut rng), check_hot_case)
+        } else {
+            (gen_program(&mut rng, &cfg.gen), check_program)
+        };
+        report.cases_run += 1;
+        if is_hot {
+            report.hot_cases += 1;
+        }
+        match check(&prog, &cfg.oracle) {
+            Ok(out) => {
+                report.plans_applied += out.plans_applied as u64;
+                report.variants_checked += out.variants_checked as u64;
+            }
+            Err(violation) => {
+                let class = violation.class();
+                let ocfg = cfg.oracle;
+                // In mutation (self-test) mode, also demand candidates
+                // stay clean *without* the injected bug, so shrinking
+                // cannot drift onto a program that fails on its own.
+                let clean = OracleConfig { mutation: None };
+                let need_clean = ocfg.mutation.is_some();
+                let deadline = Instant::now() + Duration::from_secs(cfg.shrink_secs);
+                let (min, _stats) = shrink_failing(
+                    prog,
+                    |c| {
+                        Instant::now() < deadline
+                            && matches!(check(c, &ocfg), Err(v) if v.class() == class)
+                            && (!need_clean || check(c, &clean).is_ok())
+                    },
+                    cfg.shrink_attempts,
+                );
+                let minimized = slo_ir::printer::print_program(&min);
+                let minimized_lines = minimized.lines().count();
+                let artifact = cfg.artifacts_dir.as_ref().and_then(|dir| {
+                    write_repro(
+                        dir,
+                        &format!("new-case-{seed:016x}"),
+                        &[
+                            format!("class: {class}"),
+                            format!("found by: slo-fuzz seed {} case {i}", cfg.seed),
+                            format!("violation: {violation}"),
+                        ],
+                        &min,
+                    )
+                    .ok()
+                    .map(|(path, _)| path)
+                });
+                report.failure = Some(FailureReport {
+                    case: i,
+                    case_seed: seed,
+                    violation,
+                    minimized,
+                    minimized_lines,
+                    artifact,
+                });
+                break;
+            }
+        }
+    }
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean() {
+        let cfg = FuzzConfig {
+            cases: 16,
+            seed: 0xC60,
+            artifacts_dir: None,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(
+            report.ok(),
+            "violation: {}",
+            report.failure.as_ref().unwrap().violation
+        );
+        assert_eq!(report.cases_run, 16);
+        assert!(report.hot_cases >= 2);
+        assert!(report.plans_applied > 0);
+    }
+
+    #[test]
+    fn budget_stops_campaign_cleanly() {
+        let cfg = FuzzConfig {
+            cases: u64::MAX,
+            seed: 1,
+            budget_secs: Some(0),
+            artifacts_dir: None,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(report.ok());
+        assert!(report.budget_exhausted);
+        assert_eq!(report.cases_run, 0);
+    }
+}

@@ -1,0 +1,792 @@
+//! Random well-typed program generation over `slo-ir`.
+//!
+//! The generator builds programs that are *memory-safe and terminating
+//! by construction*: every heap access goes through a constant-bounded
+//! array of a record type allocated up front, every loop is a counted
+//! loop, pointer-typed fields are always initialized before any chase,
+//! and raw address values never flow into the computed result (so a
+//! layout change can never legitimately change the exit value). Within
+//! that discipline it exercises the whole legality surface of the
+//! paper's analyses: bit-fields, nested records, pointer fields,
+//! pointer casts (CSTT/CSTF), `memset`/`memcpy` (MSET), escapes to
+//! external functions, indirect calls (IND), small constant allocations
+//! (SMAL), and direct/library calls — biased so that a healthy fraction
+//! of generated types still passes strict legality and the transforms
+//! actually fire.
+
+use proptest::TestRng;
+use slo_ir::builder::{FuncBuilder, ProgramBuilder};
+use slo_ir::{
+    BinOp, CmpOp, Const, Field, FuncId, GlobalId, Operand, Program, RecordId, Reg, ScalarKind,
+    TypeId,
+};
+
+/// Size knobs for the generator. The defaults keep one case at a few
+/// thousand executed instructions so thousands of cases fit in a CI
+/// smoke budget.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum number of record types (at least 1 is always generated).
+    pub max_records: u64,
+    /// Maximum fields per record beyond the minimum of 2.
+    pub max_extra_fields: u64,
+    /// Maximum array length beyond the minimum of 2.
+    pub max_array_len: u64,
+    /// Maximum number of top-level statements beyond the first.
+    pub max_statements: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_records: 3,
+            max_extra_fields: 4,
+            max_array_len: 18,
+            max_statements: 5,
+        }
+    }
+}
+
+/// What one record field is.
+#[derive(Debug, Clone, Copy)]
+enum Fk {
+    Scalar(ScalarKind),
+    Bits(ScalarKind, u8),
+    /// Pointer to an earlier record (by index into the record list).
+    PtrTo(usize),
+    /// Earlier record embedded by value (fires NEST on the inner type).
+    Nested(usize),
+}
+
+struct RecSpec {
+    rid: RecordId,
+    rty: TypeId,
+    pty: TypeId,
+    fields: Vec<Fk>,
+    count: i64,
+    zeroed: bool,
+    global: Option<GlobalId>,
+    freed: bool,
+}
+
+/// Per-field initialization plan (decided before emitting the loop so
+/// every element is initialized the same way).
+#[derive(Debug, Clone, Copy)]
+enum Init {
+    Skip,
+    Const(i64),
+    /// `i * mul + add` where `i` is the element index.
+    Lin(i64, i64),
+    FloatConst(f64),
+    /// Store the base pointer of the target record's array.
+    Ptr(usize),
+    /// Store a constant into scalar field `ix` of the nested record.
+    NestedConst(u32, i64),
+}
+
+/// One top-level statement of `main`.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Sum {
+        rec: usize,
+        outer: i64,
+        fields: Vec<u32>,
+        ops: Vec<BinOp>,
+        store_back: Option<u32>,
+    },
+    CondUpdate {
+        rec: usize,
+        field: u32,
+        idx: i64,
+        v_then: i64,
+        v_else: i64,
+    },
+    HelperCall {
+        rec: usize,
+    },
+    HelperIcall {
+        rec: usize,
+    },
+    LibcSqrt {
+        v: f64,
+    },
+    GlobalMix,
+    CastHazard {
+        rec: usize,
+    },
+    Escape {
+        rec: usize,
+    },
+    MemsetZero {
+        rec: usize,
+    },
+    CopyElem {
+        rec: usize,
+        from: i64,
+        to: i64,
+    },
+    PtrChase {
+        rec: usize,
+        field: u32,
+        idx: i64,
+    },
+}
+
+const SCALARS: [ScalarKind; 10] = [
+    ScalarKind::I8,
+    ScalarKind::I16,
+    ScalarKind::I32,
+    ScalarKind::I64,
+    ScalarKind::U8,
+    ScalarKind::U16,
+    ScalarKind::U32,
+    ScalarKind::U64,
+    ScalarKind::F32,
+    ScalarKind::F64,
+];
+
+const FOLD_OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Add,
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Xor,
+    BinOp::Or,
+    BinOp::And,
+    BinOp::Mul,
+];
+
+fn pick<T: Copy>(rng: &mut TestRng, xs: &[T]) -> T {
+    xs[rng.below(xs.len() as u64) as usize]
+}
+
+fn is_scalarish(fk: Fk) -> bool {
+    matches!(fk, Fk::Scalar(_) | Fk::Bits(..))
+}
+
+fn first_scalarish(fields: &[Fk]) -> Option<(u32, ScalarKind)> {
+    fields.iter().enumerate().find_map(|(i, fk)| match fk {
+        Fk::Scalar(k) => Some((i as u32, *k)),
+        Fk::Bits(k, _) => Some((i as u32, *k)),
+        _ => None,
+    })
+}
+
+/// Fields whose value can be folded into the accumulator.
+fn foldable(recs: &[RecSpec], r: usize) -> Vec<u32> {
+    recs[r]
+        .fields
+        .iter()
+        .enumerate()
+        .filter_map(|(i, fk)| match fk {
+            Fk::Scalar(_) | Fk::Bits(..) | Fk::PtrTo(_) => Some(i as u32),
+            Fk::Nested(t) => first_scalarish(&recs[*t].fields).map(|_| i as u32),
+        })
+        .collect()
+}
+
+/// Plain scalar fields that statements may store into.
+fn writable(recs: &[RecSpec], r: usize) -> Vec<u32> {
+    recs[r]
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, fk)| is_scalarish(**fk))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Pointer fields whose target record has a scalar field to chase into.
+fn chaseable(recs: &[RecSpec], r: usize) -> Vec<u32> {
+    recs[r]
+        .fields
+        .iter()
+        .enumerate()
+        .filter_map(|(i, fk)| match fk {
+            Fk::PtrTo(t) => first_scalarish(&recs[*t].fields).map(|_| i as u32),
+            _ => None,
+        })
+        .collect()
+}
+
+fn pick_subset(rng: &mut TestRng, pool: &[u32], max: usize) -> Vec<u32> {
+    let k = 1 + rng.below(pool.len().min(max) as u64) as usize;
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+    let mut tries = 0;
+    while chosen.len() < k && tries < 24 {
+        let c = pick(rng, pool);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+        tries += 1;
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Generate one random well-typed program with a `main` returning i64.
+pub fn gen_program(rng: &mut TestRng, cfg: &GenConfig) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.scalar(ScalarKind::I64);
+    let f64t = pb.scalar(ScalarKind::F64);
+    let void = pb.void();
+
+    // ---- record types ----------------------------------------------------
+    let nrec = 1 + rng.below(cfg.max_records) as usize;
+    let mut recs: Vec<RecSpec> = Vec::with_capacity(nrec);
+    for r in 0..nrec {
+        let nf = 2 + rng.below(cfg.max_extra_fields + 1) as usize;
+        let mut fks = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let roll = rng.below(100);
+            let fk = if roll < 10 {
+                match rng.below(3) {
+                    0 => Fk::Bits(ScalarKind::U8, 1 + rng.below(7) as u8),
+                    1 => Fk::Bits(ScalarKind::U16, 1 + rng.below(15) as u8),
+                    _ => Fk::Bits(ScalarKind::U32, 1 + rng.below(31) as u8),
+                }
+            } else if roll < 62 {
+                Fk::Scalar(pick(rng, &SCALARS))
+            } else if r > 0 && roll < 80 {
+                Fk::PtrTo(rng.below(r as u64) as usize)
+            } else if r > 0 && roll < 88 {
+                Fk::Nested(rng.below(r as u64) as usize)
+            } else {
+                Fk::Scalar(ScalarKind::I64)
+            };
+            fks.push(fk);
+        }
+        let mut defs = Vec::with_capacity(nf);
+        for (i, fk) in fks.iter().enumerate() {
+            let name = format!("f{i}");
+            let field = match *fk {
+                Fk::Scalar(k) => {
+                    let t = pb.scalar(k);
+                    Field::new(name, t)
+                }
+                Fk::Bits(k, w) => {
+                    let t = pb.scalar(k);
+                    Field::bitfield(name, t, w)
+                }
+                Fk::PtrTo(t) => {
+                    let ty = pb.ptr(recs[t].rty);
+                    Field::new(name, ty)
+                }
+                Fk::Nested(t) => Field::new(name, recs[t].rty),
+            };
+            defs.push(field);
+        }
+        let (rid, rty) = pb.record(format!("rec{r}"), defs);
+        let pty = pb.ptr(rty);
+        // occasional count of 1 exercises the SMAL test
+        let count = if rng.below(10) == 0 {
+            1
+        } else {
+            2 + rng.below(cfg.max_array_len) as i64
+        };
+        let global = if rng.below(2) == 0 {
+            Some(pb.global(format!("g{r}"), pty))
+        } else {
+            None
+        };
+        recs.push(RecSpec {
+            rid,
+            rty,
+            pty,
+            fields: fks,
+            count,
+            zeroed: rng.below(2) == 0,
+            global,
+            freed: rng.below(10) < 7,
+        });
+    }
+
+    // ---- statement plan --------------------------------------------------
+    let nstmt = 1 + rng.below(cfg.max_statements + 1) as usize;
+    let mut stmts: Vec<Stmt> = Vec::with_capacity(nstmt);
+    let mut want_helper = vec![false; nrec];
+    let mut want_sink = vec![false; nrec];
+    let mut want_sqrt = false;
+    let mut want_gs = false;
+    for _ in 0..nstmt {
+        let r = rng.below(nrec as u64) as usize;
+        let roll = rng.below(100);
+        let stmt = if roll < 30 {
+            let pool = foldable(&recs, r);
+            if pool.is_empty() {
+                continue;
+            }
+            let fields = pick_subset(rng, &pool, 3);
+            let ops = fields.iter().map(|_| pick(rng, &FOLD_OPS)).collect();
+            let w = writable(&recs, r);
+            let store_back = if !w.is_empty() && rng.below(3) == 0 {
+                Some(pick(rng, &w))
+            } else {
+                None
+            };
+            Stmt::Sum {
+                rec: r,
+                outer: 1 + rng.below(3) as i64,
+                fields,
+                ops,
+                store_back,
+            }
+        } else if roll < 44 {
+            let w = writable(&recs, r);
+            if w.is_empty() {
+                continue;
+            }
+            Stmt::CondUpdate {
+                rec: r,
+                field: pick(rng, &w),
+                idx: rng.below(recs[r].count as u64) as i64,
+                v_then: rng.below(100) as i64,
+                v_else: rng.below(100) as i64,
+            }
+        } else if roll < 57 {
+            want_helper[r] = true;
+            Stmt::HelperCall { rec: r }
+        } else if roll < 65 {
+            want_helper[r] = true;
+            Stmt::HelperIcall { rec: r }
+        } else if roll < 71 {
+            want_sqrt = true;
+            Stmt::LibcSqrt {
+                v: rng.below(1000) as f64 + 0.25,
+            }
+        } else if roll < 77 {
+            want_gs = true;
+            Stmt::GlobalMix
+        } else if roll < 83 {
+            Stmt::CastHazard { rec: r }
+        } else if roll < 88 {
+            want_sink[r] = true;
+            Stmt::Escape { rec: r }
+        } else if roll < 92 {
+            Stmt::MemsetZero { rec: r }
+        } else if roll < 96 {
+            if recs[r].count < 2 {
+                continue;
+            }
+            let from = rng.below(recs[r].count as u64) as i64;
+            let to = (from + 1 + rng.below(recs[r].count as u64 - 1) as i64) % recs[r].count;
+            Stmt::CopyElem { rec: r, from, to }
+        } else {
+            let pool = chaseable(&recs, r);
+            if pool.is_empty() {
+                continue;
+            }
+            Stmt::PtrChase {
+                rec: r,
+                field: pick(rng, &pool),
+                idx: rng.below(recs[r].count as u64) as i64,
+            }
+        };
+        stmts.push(stmt);
+    }
+    // a memset zeroes pointer fields, so never chase pointers of a record
+    // that is memset anywhere in the program
+    let memset_recs: Vec<usize> = stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::MemsetZero { rec } => Some(*rec),
+            _ => None,
+        })
+        .collect();
+    stmts.retain(|s| !matches!(s, Stmt::PtrChase { rec, .. } if memset_recs.contains(rec)));
+
+    // ---- declarations ----------------------------------------------------
+    let mut helpers: Vec<Option<FuncId>> = vec![None; nrec];
+    let mut helper_fields: Vec<Vec<u32>> = vec![Vec::new(); nrec];
+    for r in 0..nrec {
+        if want_helper[r] {
+            helpers[r] = Some(pb.declare(format!("h{r}"), vec![recs[r].pty, i64t], i64t));
+            let pool: Vec<u32> = recs[r]
+                .fields
+                .iter()
+                .enumerate()
+                .filter(|(_, fk)| is_scalarish(**fk))
+                .map(|(i, _)| i as u32)
+                .collect();
+            if !pool.is_empty() {
+                helper_fields[r] = pick_subset(rng, &pool, 2);
+            }
+        }
+    }
+    let mut sinks: Vec<Option<FuncId>> = vec![None; nrec];
+    for r in 0..nrec {
+        if want_sink[r] {
+            sinks[r] = Some(pb.external(format!("sink{r}"), vec![recs[r].pty], void));
+        }
+    }
+    let sqrt = want_sqrt.then(|| pb.libc("sqrt", vec![f64t], f64t));
+    let gs = want_gs.then(|| pb.global("gs", i64t));
+    let main = pb.declare("main", vec![], i64t);
+
+    // ---- init plans (decided before emission: element-uniform) -----------
+    let mut init_plans: Vec<Vec<Init>> = Vec::with_capacity(nrec);
+    for spec in &recs {
+        let mut plans = Vec::with_capacity(spec.fields.len());
+        for fk in &spec.fields {
+            let plan = match *fk {
+                // pointer fields must always be valid before any chase
+                Fk::PtrTo(t) => Init::Ptr(t),
+                _ if rng.below(10) < 3 => Init::Skip,
+                Fk::Scalar(ScalarKind::F32) | Fk::Scalar(ScalarKind::F64) => {
+                    Init::FloatConst(rng.below(200) as f64 * 0.5 + 0.25)
+                }
+                Fk::Scalar(_) => {
+                    if rng.below(2) == 0 {
+                        Init::Const(rng.below(100) as i64)
+                    } else {
+                        Init::Lin(1 + rng.below(7) as i64, rng.below(50) as i64)
+                    }
+                }
+                Fk::Bits(_, w) => Init::Const(rng.below(1u64 << w.min(20)) as i64),
+                Fk::Nested(t) => match first_scalarish(&recs[t].fields) {
+                    Some((ix, _)) => Init::NestedConst(ix, rng.below(100) as i64),
+                    None => Init::Skip,
+                },
+            };
+            plans.push(plan);
+        }
+        init_plans.push(plans);
+    }
+    let acc_seed = 1 + rng.below(40) as i64;
+
+    // ---- helper bodies ---------------------------------------------------
+    for r in 0..nrec {
+        let Some(h) = helpers[r] else { continue };
+        let spec = &recs[r];
+        let fields = helper_fields[r].clone();
+        pb.define(h, |fb| {
+            let base = fb.param(0);
+            let count = fb.param(1);
+            if fields.is_empty() {
+                fb.ret(Some(count.into()));
+                return;
+            }
+            let acc = fb.fresh();
+            fb.assign(acc, Operand::int(0));
+            fb.count_loop(count.into(), |fb, i| {
+                let e = fb.index_addr(base, spec.rty, i.into());
+                for &f in &fields {
+                    fold_field(fb, &recs, r, e, f, BinOp::Add, acc);
+                }
+            });
+            fb.ret(Some(acc.into()));
+        });
+    }
+
+    // ---- main body -------------------------------------------------------
+    pb.define(main, |fb| {
+        // allocate every array up front
+        let mut bases: Vec<Reg> = Vec::with_capacity(nrec);
+        for spec in &recs {
+            let base = if spec.zeroed {
+                fb.calloc(spec.rty, Operand::int(spec.count))
+            } else {
+                fb.alloc(spec.rty, Operand::int(spec.count))
+            };
+            if let Some(g) = spec.global {
+                fb.store_global(g, base.into());
+            }
+            bases.push(base);
+        }
+        // initialization loops
+        for (r, spec) in recs.iter().enumerate() {
+            let plans = &init_plans[r];
+            if plans.iter().all(|p| matches!(p, Init::Skip)) {
+                continue;
+            }
+            let base = bases[r];
+            fb.count_loop(Operand::int(spec.count), |fb, i| {
+                let e = fb.index_addr(base, spec.rty, i.into());
+                for (fi, plan) in plans.iter().enumerate() {
+                    let f = fi as u32;
+                    match *plan {
+                        Init::Skip => {}
+                        Init::Const(v) => fb.store_field(e.into(), spec.rid, f, Operand::int(v)),
+                        Init::Lin(m, a) => {
+                            let x = fb.mul(i.into(), Operand::int(m));
+                            let y = fb.add(x.into(), Operand::int(a));
+                            fb.store_field(e.into(), spec.rid, f, y.into());
+                        }
+                        Init::FloatConst(v) => {
+                            fb.store_field(e.into(), spec.rid, f, Operand::Const(Const::Float(v)))
+                        }
+                        Init::Ptr(t) => {
+                            fb.store_field(e.into(), spec.rid, f, bases[t].into());
+                        }
+                        Init::NestedConst(ix, v) => {
+                            let Fk::Nested(t) = spec.fields[fi] else {
+                                unreachable!()
+                            };
+                            let fa = fb.field_addr(e.into(), spec.rid, f);
+                            fb.store_field(fa.into(), recs[t].rid, ix, Operand::int(v));
+                        }
+                    }
+                }
+            });
+        }
+        // the accumulator all observable results flow through
+        let acc = fb.fresh();
+        fb.assign(acc, Operand::int(acc_seed));
+        // statements
+        for stmt in &stmts {
+            emit_stmt(
+                fb, &recs, &bases, &helpers, &sinks, sqrt, gs, acc, stmt, i64t, f64t,
+            );
+        }
+        // epilogue: frees, then return the accumulator
+        for (r, spec) in recs.iter().enumerate() {
+            if spec.freed {
+                fb.free(bases[r].into());
+            }
+        }
+        fb.ret(Some(acc.into()));
+    });
+
+    pb.finish()
+}
+
+/// Fold one field of element `e` of record `r` into `acc`.
+fn fold_field(
+    fb: &mut FuncBuilder<'_>,
+    recs: &[RecSpec],
+    r: usize,
+    e: Reg,
+    f: u32,
+    op: BinOp,
+    acc: Reg,
+) {
+    let spec = &recs[r];
+    let v: Reg = match spec.fields[f as usize] {
+        Fk::Scalar(k) | Fk::Bits(k, _) => {
+            let fty = fb.types().scalar(k);
+            let fa = fb.field_addr(e.into(), spec.rid, f);
+            fb.load(fa.into(), fty)
+        }
+        Fk::Nested(t) => {
+            let Some((ix, k)) = first_scalarish(&recs[t].fields) else {
+                return;
+            };
+            let fty = fb.types().scalar(k);
+            let fa = fb.field_addr(e.into(), spec.rid, f);
+            let fa2 = fb.field_addr(fa.into(), recs[t].rid, ix);
+            fb.load(fa2.into(), fty)
+        }
+        Fk::PtrTo(t) => {
+            // fold only the (address-independent) null-ness of the pointer
+            let fa = fb.field_addr(e.into(), spec.rid, f);
+            let v = fb.load(fa.into(), recs[t].pty);
+            fb.cmp(CmpOp::Ne, v.into(), Operand::null())
+        }
+    };
+    let x = fb.bin(op, acc.into(), v.into());
+    fb.assign(acc, x.into());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_sum_inner(
+    fb: &mut FuncBuilder<'_>,
+    recs: &[RecSpec],
+    r: usize,
+    base: Reg,
+    acc: Reg,
+    fields: &[u32],
+    ops: &[BinOp],
+    store_back: Option<u32>,
+) {
+    let spec = &recs[r];
+    fb.count_loop(Operand::int(spec.count), |fb, i| {
+        let e = fb.index_addr(base, spec.rty, i.into());
+        for (&f, &op) in fields.iter().zip(ops.iter()) {
+            fold_field(fb, recs, r, e, f, op, acc);
+        }
+        if let Some(f) = store_back {
+            fb.store_field(e.into(), spec.rid, f, acc.into());
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_stmt(
+    fb: &mut FuncBuilder<'_>,
+    recs: &[RecSpec],
+    bases: &[Reg],
+    helpers: &[Option<FuncId>],
+    sinks: &[Option<FuncId>],
+    sqrt: Option<FuncId>,
+    gs: Option<GlobalId>,
+    acc: Reg,
+    stmt: &Stmt,
+    i64t: TypeId,
+    _f64t: TypeId,
+) {
+    match stmt {
+        Stmt::Sum {
+            rec,
+            outer,
+            fields,
+            ops,
+            store_back,
+        } => {
+            if *outer > 1 {
+                fb.count_loop(Operand::int(*outer), |fb, _| {
+                    emit_sum_inner(fb, recs, *rec, bases[*rec], acc, fields, ops, *store_back);
+                });
+            } else {
+                emit_sum_inner(fb, recs, *rec, bases[*rec], acc, fields, ops, *store_back);
+            }
+        }
+        Stmt::CondUpdate {
+            rec,
+            field,
+            idx,
+            v_then,
+            v_else,
+        } => {
+            let spec = &recs[*rec];
+            let par = fb.bin(BinOp::And, acc.into(), Operand::int(1));
+            let (rid, rty, f) = (spec.rid, spec.rty, *field);
+            let base = bases[*rec];
+            let (vt, ve, ix) = (*v_then, *v_else, *idx);
+            fb.if_then_else(
+                par.into(),
+                |fb| {
+                    let e = fb.index_addr(base, rty, Operand::int(ix));
+                    fb.store_field(e.into(), rid, f, Operand::int(vt));
+                },
+                |fb| {
+                    let e = fb.index_addr(base, rty, Operand::int(ix));
+                    fb.store_field(e.into(), rid, f, Operand::int(ve));
+                },
+            );
+        }
+        Stmt::HelperCall { rec } => {
+            let Some(h) = helpers[*rec] else { return };
+            let r = fb.call(h, vec![bases[*rec].into(), Operand::int(recs[*rec].count)]);
+            let x = fb.add(acc.into(), r.into());
+            fb.assign(acc, x.into());
+        }
+        Stmt::HelperIcall { rec } => {
+            let Some(h) = helpers[*rec] else { return };
+            let t = fb.func_addr(h);
+            let pty = recs[*rec].pty;
+            let r = fb.call_indirect(
+                t.into(),
+                vec![bases[*rec].into(), Operand::int(recs[*rec].count)],
+                vec![pty, i64t],
+            );
+            let x = fb.add(acc.into(), r.into());
+            fb.assign(acc, x.into());
+        }
+        Stmt::LibcSqrt { v } => {
+            let Some(s) = sqrt else { return };
+            let r = fb.call(s, vec![Operand::Const(Const::Float(*v))]);
+            let x = fb.add(acc.into(), r.into());
+            fb.assign(acc, x.into());
+        }
+        Stmt::GlobalMix => {
+            let Some(g) = gs else { return };
+            fb.store_global(g, acc.into());
+            let v = fb.load_global(g);
+            let x = fb.add(acc.into(), v.into());
+            fb.assign(acc, x.into());
+        }
+        Stmt::CastHazard { rec } => {
+            // the cast results are deliberately unused: raw addresses must
+            // never flow into the accumulator
+            let spec = &recs[*rec];
+            let c1 = fb.cast(bases[*rec].into(), spec.pty, i64t);
+            let _c2 = fb.cast(c1.into(), i64t, spec.pty);
+        }
+        Stmt::Escape { rec } => {
+            let Some(s) = sinks[*rec] else { return };
+            fb.call_void(s, vec![bases[*rec].into()]);
+        }
+        Stmt::MemsetZero { rec } => {
+            let spec = &recs[*rec];
+            let sz = fb.types().size_of(spec.rty) as i64;
+            fb.memset(
+                bases[*rec].into(),
+                Operand::int(0),
+                Operand::int(spec.count * sz),
+            );
+        }
+        Stmt::CopyElem { rec, from, to } => {
+            let spec = &recs[*rec];
+            let sz = fb.types().size_of(spec.rty) as i64;
+            let d = fb.index_addr(bases[*rec], spec.rty, Operand::int(*to));
+            let s = fb.index_addr(bases[*rec], spec.rty, Operand::int(*from));
+            fb.memcpy(d.into(), s.into(), Operand::int(sz));
+        }
+        Stmt::PtrChase { rec, field, idx } => {
+            let spec = &recs[*rec];
+            let Fk::PtrTo(t) = spec.fields[*field as usize] else {
+                return;
+            };
+            let Some((ix, k)) = first_scalarish(&recs[t].fields) else {
+                return;
+            };
+            let e = fb.index_addr(bases[*rec], spec.rty, Operand::int(*idx));
+            let fa = fb.field_addr(e.into(), spec.rid, *field);
+            let p = fb.load(fa.into(), recs[t].pty);
+            let fty = fb.types().scalar(k);
+            let fa2 = fb.field_addr(p.into(), recs[t].rid, ix);
+            let v = fb.load(fa2.into(), fty);
+            let x = fb.add(acc.into(), v.into());
+            fb.assign(acc, x.into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo_ir::verify::verify;
+
+    #[test]
+    fn generated_programs_verify() {
+        let cfg = GenConfig::default();
+        for seed in 0..64 {
+            let mut rng = TestRng::from_seed(seed);
+            let p = gen_program(&mut rng, &cfg);
+            let errs = verify(&p);
+            assert!(errs.is_empty(), "seed {seed}: {errs:?}");
+            assert!(p.main().is_some(), "seed {seed}: no main");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let p1 = gen_program(&mut TestRng::from_seed(7), &cfg);
+        let p2 = gen_program(&mut TestRng::from_seed(7), &cfg);
+        assert_eq!(
+            slo_ir::printer::print_program(&p1),
+            slo_ir::printer::print_program(&p2)
+        );
+    }
+
+    #[test]
+    fn a_healthy_fraction_of_types_is_legal() {
+        use slo_analysis::{analyze_program, LegalityConfig};
+        let cfg = GenConfig::default();
+        let (mut total, mut legal) = (0usize, 0usize);
+        for seed in 0..128 {
+            let mut rng = TestRng::from_seed(seed);
+            let p = gen_program(&mut rng, &cfg);
+            let ipa = analyze_program(&p, &LegalityConfig::default());
+            total += ipa.num_types();
+            legal += ipa.num_legal();
+        }
+        assert!(total > 0);
+        let frac = legal as f64 / total as f64;
+        assert!(
+            frac > 0.25,
+            "only {legal}/{total} generated types pass strict legality"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # slo-fuzz — differential transform fuzzer
+//!
+//! The layout transforms of *"Practical Structure Layout Optimization
+//! and Advice"* (CGO 2006) promise one thing above all: a transformed
+//! program behaves exactly like the original, only with a better data
+//! layout. This crate stress-tests that promise end to end:
+//!
+//! * [`gen`] produces random **well-typed, memory-safe, terminating**
+//!   programs over `slo-ir` — records with bit-fields, nesting and
+//!   pointer fields, counted loops, malloc/calloc/free, direct,
+//!   indirect and library calls, casts, memset/memcpy and escapes —
+//!   biased so a healthy fraction of types still passes strict
+//!   legality.
+//! * [`oracle`] runs each program through the full
+//!   analyze → plan → transform pipeline and executes original and
+//!   transformed programs on **both** VM engines, demanding identical
+//!   exit bits, execution statistics, profile feedback and
+//!   leak-freedom.
+//! * [`hot`] adds a directed family whose forced split must not
+//!   increase the hot loop's sampled cache misses.
+//! * [`shrink`] minimizes any failure to a small textual-IR repro via
+//!   greedy delta debugging, and [`driver`] orchestrates whole
+//!   campaigns (the `bench` crate's `fuzz` binary and CI smoke job).
+//!
+//! ```
+//! use proptest::TestRng;
+//! use slo_fuzz::{check_program, gen_program, GenConfig, OracleConfig};
+//!
+//! let mut rng = TestRng::from_seed(42);
+//! let prog = gen_program(&mut rng, &GenConfig::default());
+//! let outcome = check_program(&prog, &OracleConfig::default()).expect("no violation");
+//! let _ = outcome.plans_applied;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod gen;
+pub mod hot;
+pub mod oracle;
+pub mod shrink;
+
+pub use driver::{run_fuzz, FailureReport, FuzzConfig, FuzzReport};
+pub use gen::{gen_program, GenConfig};
+pub use hot::{check_hot_case, gen_hot_program};
+pub use oracle::{check_program, inject, CaseOutcome, Mutation, OracleConfig, Violation};
+pub use shrink::{reduction_candidates, shrink_failing, write_repro};

@@ -1,0 +1,26 @@
+//! A small always-on differential fuzz campaign. The full CI smoke job
+//! (1000+ cases) runs through the `bench` crate's `fuzz` binary; this
+//! keeps a floor of coverage in `cargo test`.
+
+use slo_fuzz::{run_fuzz, FuzzConfig};
+
+#[test]
+fn smoke_campaign_is_clean() {
+    let cfg = FuzzConfig {
+        cases: 96,
+        seed: 0x5EED,
+        artifacts_dir: None,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    if let Some(f) = &report.failure {
+        panic!(
+            "case {} (seed {:#018x}): {}\nminimized:\n{}",
+            f.case, f.case_seed, f.violation, f.minimized
+        );
+    }
+    assert_eq!(report.cases_run, 96);
+    assert!(report.hot_cases >= 12);
+    assert!(report.plans_applied > 0);
+    assert!(report.variants_checked > 0);
+}

@@ -53,6 +53,24 @@ pub fn verify(p: &Program) -> Vec<VerifyError> {
             continue;
         }
 
+        // parameters occupy the low registers r0..rn
+        if (f.params.len() as u32) > f.num_regs {
+            push(
+                &mut errs,
+                format!(
+                    "{} params do not fit in {} registers",
+                    f.params.len(),
+                    f.num_regs
+                ),
+            );
+        }
+        for (i, (Reg(r), _)) in f.params.iter().enumerate() {
+            if *r != i as u32 {
+                push(&mut errs, format!("param {i} is bound to r{r}, not r{i}"));
+            }
+        }
+        let ret_is_void = matches!(p.types.get(f.ret), Type::Void);
+
         let nblocks = f.blocks.len() as u32;
         for (bi, b) in f.blocks.iter().enumerate() {
             if b.instrs.is_empty() {
@@ -101,8 +119,66 @@ pub fn verify(p: &Program) -> Vec<VerifyError> {
                             );
                         }
                     }
-                    Instr::Call { callee, .. } if callee.index() >= p.funcs.len() => {
-                        push(&mut errs, format!("bb{bi}:{ii}: unknown callee {callee}"));
+                    Instr::Call { callee, args, .. } => {
+                        if callee.index() >= p.funcs.len() {
+                            push(&mut errs, format!("bb{bi}:{ii}: unknown callee {callee}"));
+                        } else {
+                            let cf = p.func(*callee);
+                            if args.len() != cf.params.len() {
+                                push(
+                                    &mut errs,
+                                    format!(
+                                        "bb{bi}:{ii}: call of `{}` passes {} args for {} params",
+                                        cf.name,
+                                        args.len(),
+                                        cf.params.len()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    Instr::CallIndirect {
+                        args, arg_types, ..
+                    } => {
+                        if args.len() != arg_types.len() {
+                            push(
+                                &mut errs,
+                                format!(
+                                    "bb{bi}:{ii}: icall passes {} args with {} declared types",
+                                    args.len(),
+                                    arg_types.len()
+                                ),
+                            );
+                        }
+                        for t in arg_types {
+                            if (t.0 as usize) >= p.types.num_types() {
+                                push(&mut errs, format!("bb{bi}:{ii}: unknown type {t}"));
+                            }
+                        }
+                    }
+                    Instr::Cast { from, to, .. } => {
+                        for t in [from, to] {
+                            if (t.0 as usize) >= p.types.num_types() {
+                                push(&mut errs, format!("bb{bi}:{ii}: unknown type {t}"));
+                            }
+                        }
+                    }
+                    Instr::IndexAddr { elem, .. } if (elem.0 as usize) >= p.types.num_types() => {
+                        push(&mut errs, format!("bb{bi}:{ii}: unknown type {elem}"));
+                    }
+                    Instr::Return { value } => {
+                        if ret_is_void && value.is_some() {
+                            push(
+                                &mut errs,
+                                format!("bb{bi}:{ii}: void function returns a value"),
+                            );
+                        }
+                        if !ret_is_void && value.is_none() {
+                            push(
+                                &mut errs,
+                                format!("bb{bi}:{ii}: non-void function returns no value"),
+                            );
+                        }
                     }
                     Instr::FuncAddr { func, .. } if func.index() >= p.funcs.len() => {
                         push(&mut errs, format!("bb{bi}:{ii}: unknown function {func}"));
@@ -146,6 +222,16 @@ pub fn verify(p: &Program) -> Vec<VerifyError> {
             errs.push(VerifyError {
                 func: None,
                 message: format!("duplicate function name `{}`", w[0]),
+            });
+        }
+    }
+    let mut gnames: Vec<&str> = p.globals.iter().map(|g| g.name.as_str()).collect();
+    gnames.sort_unstable();
+    for w in gnames.windows(2) {
+        if w[0] == w[1] {
+            errs.push(VerifyError {
+                func: None,
+                message: format!("duplicate global name `{}`", w[0]),
             });
         }
     }
@@ -307,6 +393,129 @@ mod tests {
         });
         let errs = verify(&p);
         assert!(errs.iter().any(|e| e.message.contains("empty")));
+    }
+
+    #[test]
+    fn call_arity_mismatch_detected() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let callee = pb.declare("callee", vec![i64t, i64t], i64t);
+        pb.define(callee, |fb| {
+            let s = fb.add(fb.param(0).into(), fb.param(1).into());
+            fb.ret(Some(s.into()));
+        });
+        let f = pb.declare("main", vec![], i64t);
+        pb.define(f, |fb| {
+            let v = fb.call(callee, vec![Operand::int(1)]); // one arg short
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("passes 1 args")));
+    }
+
+    #[test]
+    fn icall_arg_type_arity_mismatch_detected() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let f = pb.declare("main", vec![], i64t);
+        pb.define(f, |fb| {
+            let t = fb.func_addr(FuncId(0));
+            let v = fb.call_indirect(t.into(), vec![Operand::int(1)], vec![]);
+            fb.ret(Some(v.into()));
+        });
+        let p = pb.finish();
+        let errs = verify(&p);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("1 args with 0 declared types")));
+    }
+
+    #[test]
+    fn return_mismatch_detected() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.scalar(ScalarKind::I64);
+        let void = pb.void();
+        let f = pb.declare("f", vec![], void);
+        pb.define(f, |fb| fb.ret(Some(Operand::int(1))));
+        let g = pb.declare("g", vec![], i64t);
+        pb.define(g, |fb| fb.ret(None));
+        let p = pb.finish();
+        let errs = verify(&p);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("void function returns a value")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("non-void function returns no value")));
+    }
+
+    #[test]
+    fn unknown_cast_type_detected() {
+        let mut p = Program::new();
+        let i64t = p.types.scalar(ScalarKind::I64);
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![],
+            ret: i64t,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![
+                    Instr::Cast {
+                        dst: Reg(0),
+                        src: Operand::int(0),
+                        from: TypeId(88),
+                        to: i64t,
+                    },
+                    Instr::Return {
+                        value: Some(Operand::int(0)),
+                    },
+                ],
+            }],
+            num_regs: 1,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("unknown type")));
+    }
+
+    #[test]
+    fn misbound_params_detected() {
+        let mut p = Program::new();
+        let i64t = p.types.scalar(ScalarKind::I64);
+        p.add_func(Function {
+            name: "f".into(),
+            params: vec![(Reg(3), i64t)],
+            ret: i64t,
+            kind: FuncKind::Defined,
+            blocks: vec![BasicBlock {
+                instrs: vec![Instr::Return {
+                    value: Some(Operand::int(0)),
+                }],
+            }],
+            num_regs: 4,
+            unit: 0,
+        });
+        let errs = verify(&p);
+        assert!(errs.iter().any(|e| e.message.contains("bound to r3")));
+    }
+
+    #[test]
+    fn duplicate_global_name_detected() {
+        let mut p = Program::new();
+        let i64t = p.types.scalar(ScalarKind::I64);
+        p.globals.push(crate::module::GlobalVar {
+            name: "G".into(),
+            ty: i64t,
+        });
+        p.globals.push(crate::module::GlobalVar {
+            name: "G".into(),
+            ty: i64t,
+        });
+        let errs = verify(&p);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("duplicate global name")));
     }
 
     #[test]

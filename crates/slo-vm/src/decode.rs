@@ -802,6 +802,7 @@ impl<'p> DecVm<'p> {
         self.stats.cache = self.cache.stats().clone();
         self.stats.allocated_bytes = self.heap.total_allocated();
         self.stats.peak_live_bytes = self.heap.peak_live();
+        self.stats.leaked_bytes = self.heap.live_bytes();
         for (fi, f) in self.prog.funcs.iter().enumerate() {
             let df = &self.dec.funcs[fi];
             if self.opts.collect_edges {

@@ -115,6 +115,8 @@ pub struct ExecStats {
     pub allocated_bytes: u64,
     /// Peak live heap bytes.
     pub peak_live_bytes: u64,
+    /// Heap bytes still live when the program exited (its leaks).
+    pub leaked_bytes: u64,
 }
 
 /// Result of a successful run.
@@ -279,6 +281,7 @@ impl<'p> Vm<'p> {
         self.stats.cache = self.cache.stats().clone();
         self.stats.allocated_bytes = self.heap.total_allocated();
         self.stats.peak_live_bytes = self.heap.peak_live();
+        self.stats.leaked_bytes = self.heap.live_bytes();
         // fold the stride histograms into the feedback file; ties on
         // the count break toward the smallest delta so both engines
         // (and repeated runs) report the same dominant stride

@@ -1,0 +1,91 @@
+//! Replays every minimized fuzzer repro committed under
+//! `fuzz/regressions/` as an ordinary test.
+//!
+//! Each `.sir` file is textual IR preceded by `// …` comment lines; a
+//! `// expect: ok` directive means the program must parse, verify and
+//! pass the full differential oracle, while `// expect: reject` means
+//! the parser or verifier must refuse it (these pin down verifier
+//! hardening). Files without a directive default to `ok`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use slo_fuzz::{check_program, OracleConfig};
+use slo_ir::parser::parse;
+use slo_ir::verify::verify;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fuzz")
+        .join("regressions")
+}
+
+#[derive(Debug, PartialEq)]
+enum Expect {
+    Ok,
+    Reject,
+}
+
+fn expectation(text: &str) -> Expect {
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("//") else {
+            break;
+        };
+        if let Some(e) = rest.trim().strip_prefix("expect:") {
+            return match e.trim() {
+                "ok" => Expect::Ok,
+                "reject" => Expect::Reject,
+                other => panic!("unknown expectation `{other}`"),
+            };
+        }
+    }
+    Expect::Ok
+}
+
+/// Strip the leading comment block (the parser has no comment syntax).
+fn source_of(text: &str) -> String {
+    text.lines()
+        .skip_while(|l| l.starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn regressions_replay() {
+    let dir = regressions_dir();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sir"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no committed regressions in {}",
+        dir.display()
+    );
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let expect = expectation(&text);
+        let src = source_of(&text);
+        match (expect, parse(&src)) {
+            (Expect::Reject, Err(_)) => {}
+            (Expect::Reject, Ok(p)) => {
+                assert!(
+                    !verify(&p).is_empty(),
+                    "{name}: expected the parser or verifier to reject this program"
+                );
+            }
+            (Expect::Ok, Err(e)) => panic!("{name}: failed to parse: {e:?}"),
+            (Expect::Ok, Ok(p)) => {
+                let errs = verify(&p);
+                assert!(errs.is_empty(), "{name}: verifier errors: {errs:?}");
+                if let Err(v) = check_program(&p, &OracleConfig::default()) {
+                    panic!("{name}: oracle violation: {v}");
+                }
+            }
+        }
+    }
+}
