@@ -82,13 +82,14 @@ fn interleave_vs_peel() -> SimWork {
     });
     let configs = [("peel (separate)", false), ("interleave", true)];
     let evals = par_map(&configs, |&(_, prefer)| {
-        let cfg = PipelineConfig {
-            heuristics: Some(HeuristicsConfig {
-                prefer_interleave: prefer,
-                ..HeuristicsConfig::ispbo()
-            }),
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder()
+            .heuristics(
+                HeuristicsConfig::builder()
+                    .split_threshold(7.5)
+                    .prefer_interleave(prefer)
+                    .build(),
+            )
+            .build();
         let res = compile(&prog, &WeightScheme::Ispbo, &cfg).expect("pipeline");
         evaluate(&prog, &res.program, &VmOptions::default()).expect("evaluate")
     });
@@ -118,13 +119,7 @@ fn threshold_sweep() -> SimWork {
     let fb = slo::collect_profile(&prog).expect("profile");
     let sweep = [0.5, 1.0, 3.0, 7.5, 15.0, 30.0, 60.0];
     let rows = par_map(&sweep, |&ts| {
-        let cfg = PipelineConfig {
-            heuristics: Some(HeuristicsConfig {
-                split_threshold: ts,
-                ..HeuristicsConfig::pbo()
-            }),
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder().split_threshold(ts).build();
         let res = compile(&prog, &WeightScheme::Pbo(&fb), &cfg).expect("pipeline");
         let mut split = 0;
         for t in res.plan.types.values() {

@@ -1,0 +1,254 @@
+//! Load generator for the batch-optimization service.
+//!
+//! Synthesizes a mixed batch of optimization jobs over the paper's
+//! workload models (mcf, art, moldyn, plus kernel variants) crossed with
+//! the static estimator family, then drives `slo_service::Service`
+//! through the claims the service makes:
+//!
+//! 1. **determinism** — the parallel batch is bit-identical to the
+//!    sequential (1 worker, cache off) run of the same jobs;
+//! 2. **caching** — an identical second batch on the same service hits
+//!    the analysis cache for (nearly) every job;
+//! 3. **isolation** — an injected panicking job and an over-budget job
+//!    degrade to advisory outcomes without failing the batch.
+//!
+//! Any violated claim exits nonzero, so CI can use this driver as a
+//! smoke gate. `--json` merges the measurements into `BENCH_vm.json`
+//! under `batch` (wall-clock speedup is reported, not asserted — it is a
+//! property of the host's core count, not of the service).
+//!
+//! ```text
+//! batch [--jobs N] [--workers N] [--json]
+//! ```
+
+use bench::report::{json_flag, record_batch, BatchStats};
+use slo_service::{
+    Budget, Degradation, Fault, Job, JobOutcome, JobStatus, SchemeSpec, Service, ServiceConfig,
+};
+use slo_workloads::art::{self, ArtConfig};
+use slo_workloads::kernel;
+use slo_workloads::mcf::{self, McfConfig};
+use slo_workloads::moldyn::{self, MoldynConfig};
+use std::time::Instant;
+
+/// The comparable essence of an outcome: everything except timings.
+fn digest(o: &JobOutcome) -> String {
+    match &o.status {
+        JobStatus::Optimized(opt) => format!(
+            "{} optimized {} {} {} {} {} {:016x}\n{}",
+            o.id,
+            opt.num_transformed,
+            opt.eval.baseline_cycles,
+            opt.eval.optimized_cycles,
+            opt.eval.baseline_instructions,
+            opt.eval.optimized_instructions,
+            opt.ipa_fingerprint,
+            opt.transformed
+        ),
+        JobStatus::Advisory { reason, report } => format!(
+            "{} advisory {} {}",
+            o.id,
+            reason.kind(),
+            report.as_deref().unwrap_or("-")
+        ),
+        JobStatus::Failed(msg) => format!("{} failed {msg}", o.id),
+    }
+}
+
+fn build_jobs(n: usize) -> Vec<Job> {
+    // A small pool of distinct programs: three workload models at
+    // load-test sizes plus three kernel variants. Repeats of the same
+    // (program, scheme, config) are what the analysis cache feeds on.
+    let programs = vec![
+        (
+            "mcf",
+            mcf::build_config(McfConfig {
+                n: 600,
+                iters: 4,
+                skew: 0,
+            }),
+        ),
+        ("art", art::build_config(ArtConfig { n: 1500, passes: 2 })),
+        (
+            "moldyn",
+            moldyn::build_config(MoldynConfig {
+                n: 600,
+                steps: 2,
+                neighbors: 6,
+            }),
+        ),
+        ("kernel64", kernel::build(64, 400)),
+        ("kernel128", kernel::build(128, 400)),
+        ("kernel256", kernel::build(256, 400)),
+    ];
+    let schemes = [
+        SchemeSpec::Ispbo,
+        SchemeSpec::Spbo,
+        SchemeSpec::IspboNo,
+        SchemeSpec::IspboW,
+    ];
+    (0..n)
+        .map(|i| {
+            let (name, prog) = &programs[i % programs.len()];
+            let scheme = schemes[(i / programs.len()) % schemes.len()].clone();
+            Job::from_program(format!("{name}#{i}"), prog.clone()).scheme(scheme)
+        })
+        .collect()
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = json_flag(&mut args);
+    let num_jobs = flag_value(&args, "--jobs").unwrap_or(64);
+    let workers = flag_value(&args, "--workers").unwrap_or(0);
+    let jobs = build_jobs(num_jobs);
+    let mut failures = 0u32;
+
+    // 1. sequential reference: one worker, cache disabled.
+    let seq_service = Service::new(
+        ServiceConfig::builder()
+            .workers(1)
+            .cache_capacity(0)
+            .build(),
+    );
+    let t0 = Instant::now();
+    let seq = seq_service.run_batch(&jobs);
+    let seq_secs = t0.elapsed().as_secs_f64();
+
+    // 2. parallel run with caching on a fresh service.
+    let service = Service::new(
+        ServiceConfig::builder()
+            .workers(workers)
+            .cache_capacity(256)
+            .build(),
+    );
+    let t1 = Instant::now();
+    let par = service.run_batch(&jobs);
+    let par_secs = t1.elapsed().as_secs_f64();
+
+    let m = service.metrics();
+    println!(
+        "batch: {num_jobs} jobs, seq {seq_secs:.2}s, par {par_secs:.2}s \
+         ({:.2}x), {} optimized / {} advisory / {} failed",
+        seq_secs / par_secs.max(1e-9),
+        m.optimized,
+        m.degraded,
+        m.failed
+    );
+
+    // determinism: parallel outcomes must be bit-identical to sequential.
+    let mismatches = seq
+        .iter()
+        .zip(&par)
+        .filter(|(a, b)| digest(a) != digest(b))
+        .count();
+    if mismatches > 0 {
+        println!("FAIL: {mismatches} parallel outcome(s) differ from the sequential run");
+        failures += 1;
+    } else {
+        println!("ok: parallel outcomes bit-identical to sequential");
+    }
+    if m.degraded + m.failed > 0 {
+        println!(
+            "FAIL: clean batch produced {} degraded and {} failed outcome(s)",
+            m.degraded, m.failed
+        );
+        failures += 1;
+    }
+
+    // 3. identical rerun on the same service: analysis should be cached.
+    let before = service.metrics();
+    let rerun = service.run_batch(&jobs);
+    let delta = service.metrics().since(&before);
+    let hit_rate = delta.cache_hit_rate();
+    println!(
+        "rerun: {}/{} analysis-cache hits ({:.0}%)",
+        delta.cache_hits,
+        delta.cache_hits + delta.cache_misses,
+        100.0 * hit_rate
+    );
+    if hit_rate < 0.9 {
+        println!("FAIL: rerun cache hit rate {:.0}% < 90%", 100.0 * hit_rate);
+        failures += 1;
+    }
+    let rerun_mismatches = seq
+        .iter()
+        .zip(&rerun)
+        .filter(|(a, b)| digest(a) != digest(b))
+        .count();
+    if rerun_mismatches > 0 {
+        println!("FAIL: {rerun_mismatches} cached outcome(s) differ from the uncached run");
+        failures += 1;
+    } else {
+        println!("ok: cached outcomes bit-identical to uncached");
+    }
+
+    // 4. fault injection: a panicking job and an over-budget job must
+    //    degrade to advisory outcomes without taking the batch down.
+    let mut faulty = build_jobs(6);
+    faulty.push(Job::from_program("inject-panic", kernel::build(64, 400)).fault(Fault::PanicInBe));
+    faulty
+        .push(Job::from_program("inject-budget", kernel::build(64, 400)).budget(Budget::steps(10)));
+    let outcomes = service.run_batch(&faulty);
+    let panic_ok = outcomes.iter().any(|o| {
+        o.id == "inject-panic"
+            && matches!(
+                &o.status,
+                JobStatus::Advisory {
+                    reason: Degradation::Panic(_),
+                    ..
+                }
+            )
+    });
+    let budget_ok = outcomes.iter().any(|o| {
+        o.id == "inject-budget"
+            && matches!(
+                &o.status,
+                JobStatus::Advisory {
+                    reason: Degradation::Budget(_),
+                    ..
+                }
+            )
+    });
+    let rest_ok = outcomes
+        .iter()
+        .filter(|o| !o.id.starts_with("inject-"))
+        .all(|o| matches!(o.status, JobStatus::Optimized(_)));
+    for (ok, what) in [
+        (panic_ok, "panicking job degrades to advisory"),
+        (budget_ok, "over-budget job degrades to advisory"),
+        (rest_ok, "healthy jobs unaffected by faulty neighbours"),
+    ] {
+        if ok {
+            println!("ok: {what}");
+        } else {
+            println!("FAIL: {what}");
+            failures += 1;
+        }
+    }
+
+    if json {
+        record_batch(BatchStats {
+            jobs: num_jobs,
+            workers: service.config().workers.max(1),
+            seq_seconds: seq_secs,
+            par_seconds: par_secs,
+            rerun_hit_rate: hit_rate,
+            degraded: m.degraded,
+            failed: m.failed,
+        });
+    }
+
+    if failures > 0 {
+        println!("{failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all service checks passed");
+}

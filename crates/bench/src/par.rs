@@ -1,12 +1,9 @@
 //! Minimal data-parallel helper for the experiment drivers.
 //!
-//! The container has no rayon, so this is a scoped-thread work queue:
-//! workers pull item indices off a shared atomic counter, compute
-//! results locally, and the caller reassembles them in input order.
-//! Good enough for "run twelve independent pipeline+VM measurements on
-//! all cores", which is the only shape the drivers need.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The implementation moved to `slo_service::pool` when the batch
+//! service was built around the same bounded worker queue; this module
+//! keeps the drivers' historical `par_map` entry point as a thin
+//! delegation (all cores, input order preserved).
 
 /// Map `f` over `items` on all available cores, preserving input order.
 ///
@@ -18,36 +15,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        local.push((i, f(item)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    slo_service::pool::par_map_bounded(0, items, f)
 }
 
 #[cfg(test)]

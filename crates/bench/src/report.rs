@@ -424,6 +424,65 @@ pub fn record_hot_loop(bench: &str, decoded_ips: f64, structured_ips: f64) {
     }
 }
 
+/// The batch load-generator's measurements for the trajectory file.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchStats {
+    /// Jobs in the generated batch.
+    pub jobs: usize,
+    /// Worker threads of the parallel run.
+    pub workers: usize,
+    /// Wall-clock seconds for the sequential (1 worker, no cache) run.
+    pub seq_seconds: f64,
+    /// Wall-clock seconds for the parallel run.
+    pub par_seconds: f64,
+    /// Analysis-cache hit rate of the repeated identical batch.
+    pub rerun_hit_rate: f64,
+    /// Degraded (advisory) outcomes in the clean batch.
+    pub degraded: u64,
+    /// Failed outcomes in the clean batch.
+    pub failed: u64,
+}
+
+/// Merge the batch load-generator's stats into `BENCH_vm.json` under
+/// `batch`. Call only when the driver saw `--json`.
+pub fn record_batch(stats: BatchStats) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let speedup = if stats.par_seconds > 0.0 {
+        stats.seq_seconds / stats.par_seconds
+    } else {
+        0.0
+    };
+    let mut entry = Json::object();
+    entry.set("jobs", Json::Num(stats.jobs as f64));
+    entry.set("workers", Json::Num(stats.workers as f64));
+    entry.set("seq_seconds", Json::Num(stats.seq_seconds));
+    entry.set("par_seconds", Json::Num(stats.par_seconds));
+    entry.set("speedup", Json::Num(speedup));
+    entry.set("rerun_hit_rate", Json::Num(stats.rerun_hit_rate));
+    entry.set("degraded", Json::Num(stats.degraded as f64));
+    entry.set("failed", Json::Num(stats.failed as f64));
+    root.set("batch", entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] batch: {} jobs, seq {:.2}s, par {:.2}s ({speedup:.2}x on {} workers), \
+             rerun hit rate {:.0}% -> {}",
+            stats.jobs,
+            stats.seq_seconds,
+            stats.par_seconds,
+            stats.workers,
+            100.0 * stats.rerun_hit_rate,
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Whether `--json` is among the process arguments (and strip it from a
 /// caller-collected arg list so positional parsing stays simple).
 pub fn json_flag(args: &mut Vec<String>) -> bool {

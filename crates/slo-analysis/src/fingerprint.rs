@@ -1,0 +1,156 @@
+//! Stable fingerprints of analysis configurations and summaries.
+//!
+//! The batch service keys its analysis cache on
+//! `hash(normalized IR, scheme, config)` and sanity-checks entries with
+//! a digest of the *result*; both sides live here so the definition of
+//! "same analysis" is owned by the analysis crate, not the cache.
+//!
+//! Everything folds into [`Fnv64`] (see `slo_ir::fingerprint`), which is
+//! deterministic across processes — a requirement `DefaultHasher` does
+//! not meet.
+
+use crate::ipa::{IpaResult, LegalityConfig, TypeVerdict};
+use crate::schemes::WeightScheme;
+use slo_ir::Fnv64;
+use std::hash::Hasher as _;
+
+/// Fold a legality configuration into `h`. Every field participates:
+/// flipping `relax_cast_addr`, `pointsto_relax`, or the SMAL threshold
+/// must produce a different cache key.
+pub fn fold_legality_config(cfg: &LegalityConfig, h: &mut Fnv64) {
+    h.write_str("LegalityConfig");
+    h.write_bool(cfg.relax_cast_addr);
+    h.write_bool(cfg.pointsto_relax);
+    h.write_u64(cfg.smal_threshold as u64);
+}
+
+/// Fold a weight scheme into `h`: the scheme name plus, for the
+/// profile-driven schemes, the feedback file's canonical text (so two
+/// PBO runs over different profiles never share a cache entry).
+pub fn fold_scheme(scheme: &WeightScheme<'_>, h: &mut Fnv64) {
+    h.write_str("WeightScheme");
+    h.write_str(scheme.name());
+    match scheme {
+        WeightScheme::Pbo(fb) | WeightScheme::Ppbo(fb) => h.write_str(&fb.to_text()),
+        _ => {}
+    }
+}
+
+/// Digest of one type's legality verdict (record id, failing tests,
+/// the attributes the planner consumes).
+fn fold_verdict(v: &TypeVerdict, h: &mut Fnv64) {
+    h.write_u32(v.record.0);
+    h.write_u64(v.invalid.len() as u64);
+    for t in &v.invalid {
+        h.write_str(t.abbrev());
+    }
+    h.write_bool(v.attrs.dyn_alloc);
+    h.write_bool(v.attrs.freed);
+    h.write_bool(v.attrs.realloced);
+    h.write_bool(v.attrs.has_global_var);
+    h.write_bool(v.attrs.has_global_ptr);
+    h.write_bool(v.attrs.has_static_array);
+}
+
+/// Stable digest of a whole-program legality result.
+///
+/// Two [`IpaResult`]s with the same verdicts (same failing tests and
+/// planner-relevant attributes per type) digest identically; the batch
+/// service uses this to assert that a cache hit reproduced the same
+/// analysis a cold run computes.
+pub fn ipa_fingerprint(res: &IpaResult) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("IpaResult");
+    h.write_u64(res.num_types() as u64);
+    for v in &res.verdicts {
+        fold_verdict(v, &mut h);
+    }
+    h.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipa::analyze_program;
+    use slo_ir::parser::parse;
+
+    const SRC: &str = r#"
+record n { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc n, 8
+  r1 = fieldaddr r0, n.a
+  store 1, r1 : i64
+  r2 = load r1 : i64
+  ret r2
+}
+"#;
+
+    #[test]
+    fn ipa_digest_is_stable_and_config_sensitive() {
+        let p = parse(SRC).expect("parse");
+        let strict = analyze_program(&p, &LegalityConfig::default());
+        let again = analyze_program(&p, &LegalityConfig::default());
+        assert_eq!(ipa_fingerprint(&strict), ipa_fingerprint(&again));
+
+        // a cast invalidates under strict, not under relax -> digests differ
+        let cast = SRC.replace("ret r2", "r9 = cast r0 : ptr<n> -> i64\n  ret r2");
+        let p2 = parse(&cast).expect("parse");
+        let s2 = analyze_program(&p2, &LegalityConfig::default());
+        let r2 = analyze_program(
+            &p2,
+            &LegalityConfig {
+                relax_cast_addr: true,
+                ..Default::default()
+            },
+        );
+        assert_ne!(ipa_fingerprint(&s2), ipa_fingerprint(&r2));
+    }
+
+    #[test]
+    fn config_fold_distinguishes_every_knob() {
+        let base = LegalityConfig::default();
+        let digest = |c: &LegalityConfig| {
+            let mut h = Fnv64::new();
+            fold_legality_config(c, &mut h);
+            h.digest()
+        };
+        let d0 = digest(&base);
+        assert_ne!(
+            d0,
+            digest(&LegalityConfig {
+                relax_cast_addr: true,
+                ..base
+            })
+        );
+        assert_ne!(
+            d0,
+            digest(&LegalityConfig {
+                pointsto_relax: true,
+                ..base
+            })
+        );
+        assert_ne!(
+            d0,
+            digest(&LegalityConfig {
+                smal_threshold: base.smal_threshold + 1,
+                ..base
+            })
+        );
+    }
+
+    #[test]
+    fn scheme_fold_separates_names_and_profiles() {
+        let digest = |s: &WeightScheme<'_>| {
+            let mut h = Fnv64::new();
+            fold_scheme(s, &mut h);
+            h.digest()
+        };
+        assert_ne!(digest(&WeightScheme::Ispbo), digest(&WeightScheme::Spbo));
+        let empty = slo_vm::Feedback::new(1);
+        assert_ne!(
+            digest(&WeightScheme::Ispbo),
+            digest(&WeightScheme::Pbo(&empty))
+        );
+    }
+}

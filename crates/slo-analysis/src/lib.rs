@@ -24,6 +24,7 @@
 pub mod affinity;
 pub mod correlate;
 pub mod dcache;
+pub mod fingerprint;
 pub mod freq;
 pub mod ipa;
 pub mod ispbo;
@@ -35,6 +36,7 @@ pub mod util;
 pub use affinity::{AffinityGraph, AffinityGroup, FieldCounts};
 pub use correlate::{argmax, correlation, correlation_excluding};
 pub use dcache::{attribute_samples, attribute_strides, FieldDcache};
+pub use fingerprint::{fold_legality_config, fold_scheme, ipa_fingerprint};
 pub use freq::{estimate_static, from_profile, BranchProbs, FuncFreq};
 pub use ipa::{analyze_program, IpaResult, LegalityConfig, TypeVerdict};
 pub use ispbo::{interprocedural_freqs, IspboConfig, IspboResult};

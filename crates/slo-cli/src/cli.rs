@@ -10,6 +10,9 @@
 //! slo profile <file.sir> [-o out.prof]       PBO collection: run instrumented,
 //!                                            write the feedback file
 //! slo vcg <file.sir> <record>                VCG control file for one type
+//! slo batch <manifest> [--workers N]         run a job manifest through the
+//!                                            batch service (caching, budgets)
+//! slo serve [--workers N]                    line-oriented job server on stdin
 //! ```
 //!
 //! Schemes: `spbo`, `ispbo` (default), `ispbo.no`, `ispbo.w`, `pbo`
@@ -19,29 +22,13 @@
 use slo::analysis::{analyze_program, LegalityConfig, WeightScheme};
 use slo::pipeline::{compile, evaluate, PipelineConfig};
 use slo::vm::{Feedback, VmOptions};
+use slo::SloError;
 use slo_ir::parser::parse;
 use slo_ir::Program;
+use slo_service::{JobStatus, Service, ServiceConfig};
 use std::fmt::Write as _;
 
-/// Top-level error type for the CLI.
-#[derive(Debug)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
-
-impl From<String> for CliError {
-    fn from(s: String) -> Self {
-        CliError(s)
-    }
-}
-
-type Result<T> = std::result::Result<T, CliError>;
+type Result<T> = std::result::Result<T, SloError>;
 
 const USAGE: &str = "\
 usage: slo <command> [options]
@@ -56,6 +43,11 @@ commands:
   profile <file.sir> [-o out.prof]       collect an edge/d-cache profile
   vcg <file.sir> <record>                VCG affinity graph for one type
   print <file.sir>                       parse, verify and pretty-print IR
+  batch <manifest> [--workers N] [--cache N] [--json] [--strict]
+                                         run a job manifest through the
+                                         batch service
+  serve [--workers N] [--cache N]        read job lines from stdin, print
+                                         one outcome per line
   help                                   this text
 
 schemes: spbo | ispbo (default) | ispbo.no | ispbo.w | pbo
@@ -64,7 +56,7 @@ schemes: spbo | ispbo (default) | ispbo.no | ispbo.w | pbo
 /// Parse arguments and run the selected subcommand, returning its stdout.
 pub fn dispatch(args: &[String]) -> Result<String> {
     let Some(cmd) = args.first() else {
-        return Err(CliError(format!("missing command\n{USAGE}")));
+        return Err(SloError::Usage(format!("missing command\n{USAGE}")));
     };
     let rest = &args[1..];
     match cmd.as_str() {
@@ -75,8 +67,12 @@ pub fn dispatch(args: &[String]) -> Result<String> {
         "profile" => cmd_profile(rest),
         "vcg" => cmd_vcg(rest),
         "print" => cmd_print(rest),
+        "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+        other => Err(SloError::Usage(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     }
 }
 
@@ -128,12 +124,12 @@ impl Opts {
 
 fn load_program(path: &str) -> Result<Program> {
     let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    let prog = parse(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
+        .map_err(|e| SloError::Io(format!("cannot read `{path}`: {e}")))?;
+    let prog = parse(&src).map_err(|e| SloError::Parse(format!("{path}: {e}")))?;
     let errs = slo_ir::verify::verify(&prog);
     if !errs.is_empty() {
         let msgs: Vec<String> = errs.iter().map(|e| format!("  {e}")).collect();
-        return Err(CliError(format!(
+        return Err(SloError::Parse(format!(
             "{path}: invalid IR:\n{}",
             msgs.join("\n")
         )));
@@ -152,13 +148,13 @@ fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
     }
     if let Some(path) = opts.value("profile") {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("cannot read profile `{path}`: {e}")))?;
-        let fb =
-            Feedback::from_text(&text).map_err(|e| CliError(format!("profile `{path}`: {e}")))?;
+            .map_err(|e| SloError::Io(format!("cannot read profile `{path}`: {e}")))?;
+        let fb = Feedback::from_text(&text)
+            .map_err(|e| SloError::Parse(format!("profile `{path}`: {e}")))?;
         return Ok(Some(fb));
     }
     // collect on the fly
-    let fb = slo::collect_profile(prog).map_err(|e| CliError(format!("profiling run: {e}")))?;
+    let fb = slo::collect_profile(prog)?;
     Ok(Some(fb))
 }
 
@@ -169,7 +165,7 @@ fn scheme_for<'a>(opts: &Opts, feedback: Option<&'a Feedback>) -> Result<WeightS
     Ok(match (name.to_ascii_lowercase().as_str(), feedback) {
         ("pbo", Some(fb)) => WeightScheme::Pbo(fb),
         ("pbo", None) => {
-            return Err(CliError(
+            return Err(SloError::Usage(
                 "scheme `pbo` needs --profile (a file, or bare to collect one)".into(),
             ))
         }
@@ -177,18 +173,19 @@ fn scheme_for<'a>(opts: &Opts, feedback: Option<&'a Feedback>) -> Result<WeightS
         ("ispbo", _) => WeightScheme::Ispbo,
         ("ispbo.no", _) => WeightScheme::IspboNo,
         ("ispbo.w", _) => WeightScheme::IspboW,
-        (other, _) => return Err(CliError(format!("unknown scheme `{other}`"))),
+        (other, _) => return Err(SloError::Usage(format!("unknown scheme `{other}`"))),
     })
 }
 
 fn cmd_run(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("run: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "run: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
-    let out = slo::vm::run(&prog, &VmOptions::default())
-        .map_err(|e| CliError(format!("execution failed: {e}")))?;
+    let out = slo::vm::run(&prog, &VmOptions::default())?;
     let mut s = String::new();
     let _ = writeln!(s, "exit      : {}", out.exit);
     let _ = writeln!(s, "instrs    : {}", out.stats.instructions);
@@ -215,7 +212,9 @@ fn cmd_run(args: &[String]) -> Result<String> {
 fn cmd_analyze(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("analyze: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "analyze: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
     let cfg = LegalityConfig {
@@ -258,7 +257,9 @@ fn cmd_analyze(args: &[String]) -> Result<String> {
 fn cmd_advise(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("advise: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "advise: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
     let feedback = collect_feedback(&prog, &opts)?;
@@ -313,13 +314,14 @@ fn cmd_advise(args: &[String]) -> Result<String> {
 fn cmd_optimize(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("optimize: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "optimize: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
     let feedback = collect_feedback(&prog, &opts)?;
     let scheme = scheme_for(&opts, feedback.as_ref())?;
-    let res = compile(&prog, &scheme, &PipelineConfig::default())
-        .map_err(|e| CliError(format!("pipeline: {e}")))?;
+    let res = compile(&prog, &scheme, &PipelineConfig::default())?;
 
     let mut s = String::new();
     let _ = writeln!(
@@ -337,15 +339,15 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
 
     let text = slo_ir::printer::print_program(&res.program);
     if let Some(out) = opts.value("o") {
-        std::fs::write(out, &text).map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        std::fs::write(out, &text)
+            .map_err(|e| SloError::Io(format!("cannot write `{out}`: {e}")))?;
         let _ = writeln!(s, "wrote {out}");
     } else if !opts.has("measure") {
         s.push_str(&text);
     }
 
     if opts.has("measure") {
-        let eval = evaluate(&prog, &res.program, &VmOptions::default())
-            .map_err(|e| CliError(format!("evaluation: {e}")))?;
+        let eval = evaluate(&prog, &res.program, &VmOptions::default())?;
         let _ = writeln!(
             s,
             "cycles {} -> {} ({:+.1}%)",
@@ -360,13 +362,16 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
 fn cmd_profile(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("profile: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "profile: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
-    let fb = slo::collect_profile(&prog).map_err(|e| CliError(format!("profiling run: {e}")))?;
+    let fb = slo::collect_profile(&prog)?;
     let text = fb.to_text();
     if let Some(out) = opts.value("o") {
-        std::fs::write(out, &text).map_err(|e| CliError(format!("cannot write `{out}`: {e}")))?;
+        std::fs::write(out, &text)
+            .map_err(|e| SloError::Io(format!("cannot write `{out}`: {e}")))?;
         Ok(format!(
             "wrote {out} ({} functions, {} edge count total)\n",
             fb.funcs.len(),
@@ -380,7 +385,9 @@ fn cmd_profile(args: &[String]) -> Result<String> {
 fn cmd_print(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path] = &opts.positional[..] else {
-        return Err(CliError("print: expected exactly one input file".into()));
+        return Err(SloError::Usage(
+            "print: expected exactly one input file".into(),
+        ));
     };
     let prog = load_program(path)?;
     Ok(slo_ir::printer::print_program(&prog))
@@ -389,17 +396,145 @@ fn cmd_print(args: &[String]) -> Result<String> {
 fn cmd_vcg(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [path, record] = &opts.positional[..] else {
-        return Err(CliError("vcg: expected <file.sir> <record>".into()));
+        return Err(SloError::Usage("vcg: expected <file.sir> <record>".into()));
     };
     let prog = load_program(path)?;
     let rid = prog
         .types
         .record_by_name(record)
-        .ok_or_else(|| CliError(format!("no record type `{record}`")))?;
+        .ok_or_else(|| SloError::Usage(format!("no record type `{record}`")))?;
     let feedback = collect_feedback(&prog, &opts)?;
     let scheme = scheme_for(&opts, feedback.as_ref())?;
     let graphs = slo::analysis::affinity_graphs(&prog, &scheme);
     Ok(slo::advisor::render_vcg(&prog, rid, &graphs[&rid]))
+}
+
+/// Numeric `--flag N` with a default when absent.
+fn flag_count(opts: &Opts, name: &str, default: usize) -> Result<usize> {
+    match opts.value(name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| SloError::Usage(format!("--{name}: invalid count `{v}`"))),
+        None if opts.has(name) => Err(SloError::Usage(format!("--{name} needs a number"))),
+        None => Ok(default),
+    }
+}
+
+/// One human-readable result line per job outcome.
+fn outcome_line(o: &slo_service::JobOutcome) -> String {
+    let cache = if o.metrics.cache_hit { " [cached]" } else { "" };
+    match &o.status {
+        JobStatus::Optimized(opt) => format!(
+            "{:<24} optimized  {} type(s), cycles {} -> {} ({:+.1}%){}",
+            o.id,
+            opt.num_transformed,
+            opt.eval.baseline_cycles,
+            opt.eval.optimized_cycles,
+            opt.eval.speedup_percent(),
+            cache
+        ),
+        JobStatus::Advisory { reason, report } => format!(
+            "{:<24} advisory   {reason}{}{}",
+            o.id,
+            if report.is_some() {
+                " (report available)"
+            } else {
+                ""
+            },
+            cache
+        ),
+        JobStatus::Failed(msg) => {
+            let first = msg.lines().next().unwrap_or_default();
+            format!("{:<24} failed     {first}", o.id)
+        }
+    }
+}
+
+fn cmd_batch(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [manifest] = &opts.positional[..] else {
+        return Err(SloError::Usage(
+            "batch: expected exactly one manifest file".into(),
+        ));
+    };
+    let workers = flag_count(&opts, "workers", 0)?;
+    let cache = flag_count(&opts, "cache", 256)?;
+    let jobs = slo_service::load_manifest(std::path::Path::new(manifest))?;
+    let service = Service::new(
+        ServiceConfig::builder()
+            .workers(workers)
+            .cache_capacity(cache)
+            .build(),
+    );
+    let outcomes = service.run_batch(&jobs);
+
+    let mut s = String::new();
+    for o in &outcomes {
+        let _ = writeln!(s, "{}", outcome_line(o));
+    }
+    let m = service.metrics();
+    let _ = writeln!(
+        s,
+        "{} job(s): {} optimized, {} advisory, {} failed; cache {}/{} hit ({:.0}%)",
+        m.jobs,
+        m.optimized,
+        m.degraded,
+        m.failed,
+        m.cache_hits,
+        m.cache_hits + m.cache_misses,
+        100.0 * m.cache_hit_rate()
+    );
+    if opts.has("json") {
+        let _ = writeln!(s, "{}", m.to_json());
+    }
+    if opts.has("strict") && m.degraded + m.failed > 0 {
+        return Err(SloError::Usage(format!(
+            "{s}batch --strict: {} degraded and {} failed job(s)",
+            m.degraded, m.failed
+        )));
+    }
+    Ok(s)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let workers = flag_count(&opts, "workers", 0)?;
+    let cache = flag_count(&opts, "cache", 256)?;
+    let service = Service::new(
+        ServiceConfig::builder()
+            .workers(workers)
+            .cache_capacity(cache)
+            .build(),
+    );
+    let dir = std::env::current_dir().map_err(|e| SloError::Io(format!("current dir: {e}")))?;
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
+            .map_err(|e| SloError::Io(format!("stdin: {e}")))?;
+        if n == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match trimmed {
+            "quit" | "exit" => break,
+            "metrics" => println!("{}", service.metrics().to_json()),
+            _ => match slo_service::parse_job_line(&dir, trimmed) {
+                Ok(jobs) => {
+                    for o in service.run_batch(&jobs) {
+                        println!("{}", outcome_line(&o));
+                    }
+                }
+                Err(msg) => println!("error: {msg}"),
+            },
+        }
+    }
+    Ok(format!("served {} job(s)\n", service.metrics().jobs))
 }
 
 #[cfg(test)]

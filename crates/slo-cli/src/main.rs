@@ -1,10 +1,28 @@
 //! `slo` — the standalone command-line tool the paper's §5 envisions:
 //! the analysis/advisory phase repackaged outside the compiler, plus the
 //! optimizer and the simulated machine, driven over textual IR files.
+//!
+//! Error-domain exit codes (scripts can branch on *why* a run failed):
+//! `2` usage, `3` parse, `4` legality, `5` transform, `6` VM fault,
+//! `7` budget exhausted, `8` I/O.
 
+use slo::SloError;
 use std::process::ExitCode;
 
 mod cli;
+
+/// Map each error domain to a distinct exit code (0 = success).
+fn exit_code(e: &SloError) -> u8 {
+    match e {
+        SloError::Usage(_) => 2,
+        SloError::Parse(_) => 3,
+        SloError::Legality(_) => 4,
+        SloError::Transform(_) => 5,
+        SloError::Vm(_) => 6,
+        SloError::Budget(_) => 7,
+        SloError::Io(_) => 8,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +33,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("slo: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code(&e))
         }
     }
 }

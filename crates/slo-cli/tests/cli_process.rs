@@ -79,3 +79,119 @@ fn help_exits_zero() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage: slo"));
 }
+
+/// Exit codes are per error domain: scripts can branch on *why*.
+#[test]
+fn exit_codes_distinguish_error_domains() {
+    // usage error -> 2
+    let out = slo().args(["bogus-command"]).output().expect("spawn slo");
+    assert_eq!(out.status.code(), Some(2));
+
+    // missing file (I/O) -> 8
+    let out = slo()
+        .args(["run", "/nonexistent.sir"])
+        .output()
+        .expect("spawn slo");
+    assert_eq!(out.status.code(), Some(8));
+
+    // unparseable IR -> 3
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("slo-e2e-bad-{}.sir", std::process::id()));
+    std::fs::write(&bad, "record broken {").expect("write temp");
+    let out = slo().args(["run"]).arg(&bad).output().expect("spawn slo");
+    assert_eq!(out.status.code(), Some(3));
+    let _ = std::fs::remove_file(&bad);
+}
+
+fn smoke_manifest() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("examples/batch/smoke.txt");
+    assert!(p.exists(), "manifest missing: {}", p.display());
+    p
+}
+
+#[test]
+fn batch_runs_the_smoke_manifest_strictly() {
+    let out = slo()
+        .args(["batch"])
+        .arg(smoke_manifest())
+        .args(["--workers", "2", "--strict", "--json"])
+        .output()
+        .expect("spawn slo");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimized"));
+    assert!(text.contains("[cached]"), "repeats must hit the cache");
+    assert!(text.contains("0 advisory, 0 failed"));
+    assert!(text.contains("\"cache_hit_rate\""), "--json metrics block");
+}
+
+#[test]
+fn batch_strict_fails_on_degraded_jobs() {
+    let dir = std::env::temp_dir().join(format!("slo-e2e-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("bad.sir"), "record broken {").expect("write");
+    std::fs::write(dir.join("jobs.txt"), "bad.sir\n").expect("write");
+
+    let out = slo()
+        .args(["batch"])
+        .arg(dir.join("jobs.txt"))
+        .args(["--strict"])
+        .output()
+        .expect("spawn slo");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "strict batch failure is a usage error"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("failed job"));
+
+    // without --strict the same batch reports and exits zero
+    let out = slo()
+        .args(["batch"])
+        .arg(dir.join("jobs.txt"))
+        .output()
+        .expect("spawn slo");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("failed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_processes_jobs_from_stdin() {
+    use std::io::Write as _;
+    let mut child = slo()
+        .args(["serve"])
+        .current_dir(smoke_manifest().parent().expect("dir"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(
+            b"../ir/hotcold.sir scheme=ispbo\n../ir/hotcold.sir scheme=ispbo\nmetrics\nquit\n",
+        )
+        .expect("write jobs");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimized"));
+    assert!(
+        text.contains("[cached]"),
+        "second identical job hits the cache"
+    );
+    assert!(
+        text.contains("\"cache_hits\": 1"),
+        "metrics command answers"
+    );
+    assert!(text.contains("served 2 job(s)"));
+}

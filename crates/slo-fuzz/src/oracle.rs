@@ -246,10 +246,11 @@ const ORACLE_STEP_LIMIT: u64 = 400_000;
 
 /// Profiling options with the oracle's tight step limit.
 pub fn oracle_opts() -> VmOptions {
-    VmOptions {
-        step_limit: ORACLE_STEP_LIMIT,
-        ..VmOptions::profiling()
-    }
+    VmOptions::builder()
+        .collect_edges(true)
+        .sample_dcache(true)
+        .step_limit(ORACLE_STEP_LIMIT)
+        .build()
 }
 
 /// Comparable key for an exit value (bit-exact, NaN-safe).
@@ -339,10 +340,10 @@ fn planner_plans(
         ("plan-pbo", HeuristicsConfig::pbo()),
         (
             "plan-interleave",
-            HeuristicsConfig {
-                prefer_interleave: true,
-                ..HeuristicsConfig::ispbo()
-            },
+            HeuristicsConfig::builder()
+                .split_threshold(7.5)
+                .prefer_interleave(true)
+                .build(),
         ),
     ];
     let mut seen = BTreeSet::new();

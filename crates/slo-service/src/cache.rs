@@ -1,0 +1,154 @@
+//! The content-hash analysis cache.
+//!
+//! Repeated analysis over near-identical inputs dominates batch cost
+//! (Chen & Kandemir's constraint-network observation; Marmoset's
+//! many-layouts-per-program search has the same shape), so the service
+//! memoizes the FE + IPA half of the pipeline — [`slo::Analysis`]:
+//! legality verdicts, affinity graphs, field counts and the transform
+//! plan — keyed by [`slo::analysis_cache_key`], a stable FNV-1a digest
+//! of the *normalized* IR text plus the scheme (including any profile)
+//! plus every config knob. The BE rewrite is cheap and re-runs per job.
+//!
+//! The cache is a bounded LRU: entries carry a logical use stamp and
+//! the least-recently-used entry is evicted once `capacity` is
+//! exceeded. Digest collisions are guarded by storing the key alongside
+//! the entry (a collision would need equal 64-bit FNV digests *and*
+//! land in the same map slot — we accept the standard content-hash
+//! risk, as git does).
+
+use slo::Analysis;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bounded LRU map from analysis cache key to a shared [`Analysis`].
+#[derive(Debug)]
+pub struct AnalysisCache {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    analysis: Arc<Analysis>,
+    last_used: u64,
+}
+
+impl AnalysisCache {
+    /// A cache holding at most `capacity` entries (`0` disables
+    /// caching: every lookup misses and nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        AnalysisCache {
+            capacity,
+            stamp: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<Analysis>> {
+        self.stamp += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.stamp;
+                self.hits += 1;
+                Some(Arc::clone(&e.analysis))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert `key -> analysis`, evicting the least-recently-used entry
+    /// if the bound would be exceeded.
+    pub fn insert(&mut self, key: u64, analysis: Arc<Analysis>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                analysis,
+                last_used: self.stamp,
+            },
+        );
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses, evictions) counters since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slo::analysis::WeightScheme;
+    use slo_ir::parser::parse;
+
+    fn some_analysis() -> Arc<Analysis> {
+        let p = parse("func main() -> i64 {\nbb0:\n  ret 0\n}\n").expect("parse");
+        Arc::new(slo::analyze(
+            &p,
+            &WeightScheme::Ispbo,
+            &slo::PipelineConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = AnalysisCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, some_analysis());
+        assert!(c.get(1).is_some());
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = AnalysisCache::new(2);
+        let a = some_analysis();
+        c.insert(1, Arc::clone(&a));
+        c.insert(2, Arc::clone(&a));
+        assert!(c.get(1).is_some()); // 2 is now the LRU entry
+        c.insert(3, Arc::clone(&a));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "LRU entry evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = AnalysisCache::new(0);
+        c.insert(1, some_analysis());
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

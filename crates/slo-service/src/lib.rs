@@ -1,0 +1,52 @@
+//! # slo-service — the concurrent batch-optimization service
+//!
+//! The paper's pipeline is a one-shot FE → IPA → BE pass over a single
+//! program. This crate turns it into a service: [`Service`] accepts
+//! many optimization jobs (program source or parsed IR + scheme +
+//! config), shards them across a bounded worker pool, and returns
+//! structured [`JobOutcome`]s.
+//!
+//! * **Per-request budgets** ([`Budget`]): wall-clock + VM step limits,
+//!   with `catch_unwind` panic isolation per job.
+//! * **Graceful degradation**: a job whose transform fails differential
+//!   verification, exhausts its budget, or panics downgrades to the §3
+//!   advisory report instead of failing the batch.
+//! * **Content-hash caching** ([`cache::AnalysisCache`]): the FE + IPA
+//!   half of the pipeline is memoized under a stable digest of the
+//!   normalized IR + scheme + config, with an LRU bound — repeated
+//!   analysis over near-identical inputs is the dominant batch cost.
+//! * **Phase metrics** ([`MetricsSnapshot`]): queue wait, per-phase
+//!   timings, cache hit/miss and degradation counters, exportable as
+//!   JSON.
+//!
+//! # Examples
+//!
+//! ```
+//! use slo_service::{Job, Service, ServiceConfig};
+//!
+//! let src = "func main() -> i64 {\nbb0:\n  ret 42\n}\n";
+//! let service = Service::new(ServiceConfig::builder().workers(2).build());
+//! let jobs = vec![Job::from_source("a", src), Job::from_source("b", src)];
+//! let outcomes = service.run_batch(&jobs);
+//! assert_eq!(outcomes.len(), 2);
+//! // same content -> the second job hits the analysis cache
+//! assert_eq!(service.metrics().cache_hits + service.metrics().cache_misses, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod manifest;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+
+pub use job::{
+    Budget, Degradation, Fault, Job, JobInput, JobMetrics, JobOutcome, JobStatus, Optimized,
+    SchemeSpec,
+};
+pub use manifest::{load_manifest, parse_job_line};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use pool::par_map_bounded;
+pub use service::{Service, ServiceConfig, ServiceConfigBuilder};

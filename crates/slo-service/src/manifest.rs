@@ -1,0 +1,178 @@
+//! Job-manifest parsing for `slo batch` / `slo serve` and the bench
+//! load generator.
+//!
+//! A manifest is a line-oriented text file; blank lines and `#`
+//! comments are skipped. Each remaining line describes one job:
+//!
+//! ```text
+//! <file.sir> [scheme=S] [profile=<file.prof>] [budget-ms=N] [steps=N]
+//!            [relax] [dcache] [repeat=N]
+//! ```
+//!
+//! * `scheme` — `spbo | ispbo | ispbo.no | ispbo.w | pbo` (default
+//!   `ispbo`; `pbo` without `profile=` collects one on the fly),
+//! * `profile` — a feedback file collected with `slo profile`,
+//! * `budget-ms` / `steps` — the per-request [`Budget`],
+//! * `relax` — relaxed legality (Table 1's "Relax" column),
+//! * `dcache` — attribute d-cache samples (profile schemes only),
+//! * `repeat` — submit N copies of the job (load generation; copies
+//!   share content, so N−1 of them hit the analysis cache).
+//!
+//! Relative `.sir`/`.prof` paths resolve against the manifest's
+//! directory, so checked-in manifests work from any working directory.
+
+use crate::job::{Budget, Job, JobInput, SchemeSpec};
+use slo::{PipelineConfig, SloError};
+use std::path::Path;
+
+/// Parse the manifest at `path` into jobs.
+///
+/// # Errors
+///
+/// [`SloError::Io`] if the manifest or a referenced file cannot be
+/// read, [`SloError::Usage`] on a malformed line.
+pub fn load_manifest(path: &Path) -> Result<Vec<Job>, SloError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SloError::Io(format!("cannot read manifest `{}`: {e}", path.display())))?;
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = parse_job_line(dir, line)
+            .map_err(|e| SloError::Usage(format!("{}:{}: {e}", path.display(), lineno + 1)))?;
+        jobs.extend(parsed);
+    }
+    Ok(jobs)
+}
+
+/// Parse one manifest line (also the `slo serve` wire format) into the
+/// job(s) it describes (`repeat=` expands to several).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending token.
+pub fn parse_job_line(dir: &Path, line: &str) -> Result<Vec<Job>, String> {
+    let mut tokens = line.split_whitespace();
+    let file = tokens.next().ok_or("empty job line")?;
+    let sir_path = dir.join(file);
+    let source = std::fs::read_to_string(&sir_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", sir_path.display()))?;
+
+    let mut scheme: Option<SchemeSpec> = None;
+    let mut profile: Option<String> = None;
+    let mut budget = Budget::default();
+    let mut relax = false;
+    let mut dcache = false;
+    let mut repeat = 1usize;
+    for tok in tokens {
+        match tok.split_once('=') {
+            Some(("scheme", v)) => {
+                scheme = Some(SchemeSpec::parse(v).ok_or_else(|| format!("unknown scheme `{v}`"))?);
+            }
+            Some(("profile", v)) => {
+                let p = dir.join(v);
+                profile = Some(
+                    std::fs::read_to_string(&p)
+                        .map_err(|e| format!("cannot read profile `{}`: {e}", p.display()))?,
+                );
+            }
+            Some(("budget-ms", v)) => {
+                budget.wall = Some(std::time::Duration::from_millis(
+                    v.parse().map_err(|_| format!("bad budget-ms `{v}`"))?,
+                ));
+            }
+            Some(("steps", v)) => {
+                budget.steps = v.parse().map_err(|_| format!("bad steps `{v}`"))?;
+            }
+            Some(("repeat", v)) => {
+                repeat = v.parse().map_err(|_| format!("bad repeat `{v}`"))?;
+            }
+            None if tok == "relax" => relax = true,
+            None if tok == "dcache" => dcache = true,
+            _ => return Err(format!("unknown attribute `{tok}`")),
+        }
+    }
+    let scheme = match (scheme, profile) {
+        (_, Some(text)) => SchemeSpec::PboProfile(text),
+        (Some(s), None) => s,
+        (None, None) => SchemeSpec::default(),
+    };
+    let config = PipelineConfig::builder()
+        .relax_cast_addr(relax)
+        .attribute_dcache(dcache)
+        .build();
+
+    let stem = Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(file);
+    Ok((0..repeat)
+        .map(|k| {
+            let id = if repeat == 1 {
+                stem.to_string()
+            } else {
+                format!("{stem}#{k}")
+            };
+            Job {
+                id,
+                input: JobInput::Source(source.clone()),
+                scheme: scheme.clone(),
+                config: config.clone(),
+                budget,
+                fault: None,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "slo-manifest-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    const SIR: &str = "func main() -> i64 {\nbb0:\n  ret 7\n}\n";
+
+    #[test]
+    fn parses_attributes_and_repeat() {
+        let d = tmpdir();
+        std::fs::write(d.join("a.sir"), SIR).expect("write");
+        let mut f = std::fs::File::create(d.join("m.manifest")).expect("create");
+        writeln!(
+            f,
+            "# comment\n\na.sir scheme=spbo budget-ms=250 steps=1000 relax repeat=3"
+        )
+        .expect("write");
+        let jobs = load_manifest(&d.join("m.manifest")).expect("load");
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(jobs[0].id, "a#0");
+        assert_eq!(jobs[0].scheme, SchemeSpec::Spbo);
+        assert_eq!(jobs[0].budget.steps, 1000);
+        assert_eq!(
+            jobs[0].budget.wall,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert!(jobs[0].config.legality.relax_cast_addr);
+    }
+
+    #[test]
+    fn rejects_unknown_tokens() {
+        let d = tmpdir();
+        std::fs::write(d.join("b.sir"), SIR).expect("write");
+        assert!(parse_job_line(&d, "b.sir wat=1").is_err());
+        assert!(parse_job_line(&d, "b.sir scheme=zzz").is_err());
+        assert!(parse_job_line(&d, "missing.sir").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Service-level phase metrics: queue wait, per-phase timings, cache
+//! hit/miss counters, degradation counts.
+//!
+//! Counters are lock-free atomics updated by the worker threads; a
+//! [`MetricsSnapshot`] is a consistent-enough point-in-time read used
+//! by the CLI's `--json` output and the bench load-generator's
+//! `BENCH_vm.json` table.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters owned by a [`crate::Service`].
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    pub(crate) jobs: AtomicU64,
+    pub(crate) optimized: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) cache_evictions: AtomicU64,
+    pub(crate) queue_wait_ns: AtomicU64,
+    pub(crate) fe_ns: AtomicU64,
+    pub(crate) ipa_ns: AtomicU64,
+    pub(crate) be_ns: AtomicU64,
+    pub(crate) exec_ns: AtomicU64,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn add_duration(slot: &AtomicU64, d: Duration) {
+        slot.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            jobs: ld(&self.jobs),
+            optimized: ld(&self.optimized),
+            degraded: ld(&self.degraded),
+            failed: ld(&self.failed),
+            panics: ld(&self.panics),
+            cache_hits: ld(&self.cache_hits),
+            cache_misses: ld(&self.cache_misses),
+            cache_evictions: ld(&self.cache_evictions),
+            queue_wait_ns: ld(&self.queue_wait_ns),
+            fe_ns: ld(&self.fe_ns),
+            ipa_ns: ld(&self.ipa_ns),
+            be_ns: ld(&self.be_ns),
+            exec_ns: ld(&self.exec_ns),
+        }
+    }
+}
+
+/// A consistent read of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs completed (any status).
+    pub jobs: u64,
+    /// Jobs that produced a full optimized result.
+    pub optimized: u64,
+    /// Jobs downgraded to advisory-only output.
+    pub degraded: u64,
+    /// Jobs that failed outright (unparseable input).
+    pub failed: u64,
+    /// Panics caught and contained (a subset of `degraded`).
+    pub panics: u64,
+    /// Analysis-cache hits.
+    pub cache_hits: u64,
+    /// Analysis-cache misses.
+    pub cache_misses: u64,
+    /// Analysis-cache LRU evictions.
+    pub cache_evictions: u64,
+    /// Total time jobs waited in the queue (nanoseconds).
+    pub queue_wait_ns: u64,
+    /// Total FE phase time across jobs (nanoseconds; cached jobs add 0).
+    pub fe_ns: u64,
+    /// Total IPA phase time across jobs (nanoseconds; cached jobs add 0).
+    pub ipa_ns: u64,
+    /// Total BE phase time across jobs (nanoseconds).
+    pub be_ns: u64,
+    /// Total simulated-machine (verification + evaluation) host time.
+    pub exec_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate in `[0, 1]` (`0` when the cache was never asked).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+
+    /// The difference `self - earlier`, for per-batch readings off a
+    /// long-lived service.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs - earlier.jobs,
+            optimized: self.optimized - earlier.optimized,
+            degraded: self.degraded - earlier.degraded,
+            failed: self.failed - earlier.failed,
+            panics: self.panics - earlier.panics,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            queue_wait_ns: self.queue_wait_ns - earlier.queue_wait_ns,
+            fe_ns: self.fe_ns - earlier.fe_ns,
+            ipa_ns: self.ipa_ns - earlier.ipa_ns,
+            be_ns: self.be_ns - earlier.be_ns,
+            exec_ns: self.exec_ns - earlier.exec_ns,
+        }
+    }
+
+    /// A flat JSON object with every counter plus the derived hit rate
+    /// (deterministic key order; consumed by `slo batch --json` and
+    /// merged into `BENCH_vm.json` by the bench driver).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let mut first = true;
+        let mut num = |key: &str, v: f64, s: &mut String| {
+            let _ = write!(
+                s,
+                "{}\"{key}\": {}",
+                if first { "" } else { ", " },
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    format!("{}", v as i64)
+                } else {
+                    format!("{v}")
+                }
+            );
+            first = false;
+        };
+        num("jobs", self.jobs as f64, &mut s);
+        num("optimized", self.optimized as f64, &mut s);
+        num("degraded", self.degraded as f64, &mut s);
+        num("failed", self.failed as f64, &mut s);
+        num("panics", self.panics as f64, &mut s);
+        num("cache_hits", self.cache_hits as f64, &mut s);
+        num("cache_misses", self.cache_misses as f64, &mut s);
+        num("cache_evictions", self.cache_evictions as f64, &mut s);
+        num("cache_hit_rate", self.cache_hit_rate(), &mut s);
+        num("queue_wait_ns", self.queue_wait_ns as f64, &mut s);
+        num("fe_ns", self.fe_ns as f64, &mut s);
+        num("ipa_ns", self.ipa_ns as f64, &mut s);
+        num("be_ns", self.be_ns as f64, &mut s);
+        num("exec_ns", self.exec_ns as f64, &mut s);
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_math() {
+        let m = MetricsSnapshot {
+            cache_hits: 9,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!((m.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(MetricsSnapshot::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = MetricsSnapshot {
+            jobs: 10,
+            cache_hits: 4,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            jobs: 64,
+            cache_hits: 60,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.jobs, 54);
+        assert_eq!(d.cache_hits, 56);
+    }
+
+    #[test]
+    fn json_is_flat_and_ordered() {
+        let m = MetricsSnapshot {
+            jobs: 2,
+            cache_hits: 1,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        let j = m.to_json();
+        assert!(j.starts_with("{\"jobs\": 2"));
+        assert!(j.contains("\"cache_hit_rate\": 0.5"));
+        assert!(j.ends_with('}'));
+    }
+}

@@ -1,0 +1,89 @@
+//! The bounded worker pool the service shards jobs across.
+//!
+//! A scoped-thread work queue (the container has no rayon): workers
+//! pull item indices off a shared atomic counter, compute results
+//! locally, and the caller reassembles them in input order — so a
+//! parallel batch is a permutation-free, bit-identical replay of the
+//! sequential one. `bench::par` delegates here; this crate owns the
+//! implementation because the service is its primary consumer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` on at most `workers` threads, preserving input
+/// order. `workers == 0` means "all available cores". Falls back to a
+/// sequential map for empty/singleton inputs or a single worker.
+/// Panics in `f` propagate to the caller (the service wraps job bodies
+/// in `catch_unwind` *before* they reach the pool).
+pub fn par_map_bounded<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if workers == 0 { hw } else { workers }.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                // re-raise the worker's own payload so callers (and
+                // `should_panic` tests) see the original message
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_bounded() {
+        let items: Vec<u64> = (0..257).collect();
+        for workers in [0, 1, 2, 8] {
+            let out = par_map_bounded(workers, &items, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map_bounded(4, &none, |&x| x).is_empty());
+        assert_eq!(par_map_bounded(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map_bounded(4, &items, |&x| {
+            assert!(x != 42, "boom");
+            x
+        });
+    }
+}

@@ -1,0 +1,439 @@
+//! The batch-optimization service.
+//!
+//! [`Service::run_batch`] accepts many jobs, shards them across a
+//! bounded worker pool, and returns one structured [`JobOutcome`] per
+//! job. Each job runs behind its [`Budget`] with `catch_unwind` panic
+//! isolation and a graceful-degradation ladder:
+//!
+//! 1. full pipeline + differential verification + evaluation,
+//! 2. on a BE failure, verification mismatch, exhausted budget or a
+//!    caught panic → advisory-only output (the §3 report, when the
+//!    analysis got far enough),
+//! 3. on unusable input → a `Failed` outcome.
+//!
+//! A batch never aborts because one job went wrong.
+
+use crate::cache::AnalysisCache;
+use crate::job::{
+    Degradation, Fault, Job, JobInput, JobMetrics, JobOutcome, JobStatus, Optimized, SchemeSpec,
+};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::pool::par_map_bounded;
+use slo::analysis::{ipa_fingerprint, WeightScheme};
+use slo::{Analysis, Evaluation};
+use slo_ir::{printer::print_program, Program};
+use slo_vm::{ExecError, Feedback, VmOptions};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads for a batch (`0` = all available cores).
+    pub workers: usize,
+    /// Analysis-cache LRU bound in entries (`0` disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 256,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Start building a configuration.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServiceConfig`] (see [`ServiceConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    cfg: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker threads (`0` = all cores).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Analysis-cache capacity in entries (`0` disables).
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cfg.cache_capacity = n;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> ServiceConfig {
+        self.cfg
+    }
+}
+
+/// The concurrent batch-optimization service.
+#[derive(Debug)]
+pub struct Service {
+    cfg: ServiceConfig,
+    cache: Mutex<AnalysisCache>,
+    metrics: ServiceMetrics,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        Service {
+            cache: Mutex::new(AnalysisCache::new(cfg.cache_capacity)),
+            metrics: ServiceMetrics::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Run a batch: shard `jobs` across the worker pool and return one
+    /// outcome per job, in submission order.
+    pub fn run_batch(&self, jobs: &[Job]) -> Vec<JobOutcome> {
+        let submitted = Instant::now();
+        par_map_bounded(self.cfg.workers, jobs, |job| self.run_job(job, submitted))
+    }
+
+    /// Run one job to completion (used by `run_batch` and by the
+    /// line-at-a-time `slo serve` front end). `submitted` is when the
+    /// job entered the queue; the gap to pickup is reported as queue
+    /// wait.
+    pub fn run_job(&self, job: &Job, submitted: Instant) -> JobOutcome {
+        let start = Instant::now();
+        let mut jm = JobMetrics {
+            queue_wait: start.duration_since(submitted),
+            ..JobMetrics::default()
+        };
+        let deadline = job.budget.wall.map(|w| start + w);
+
+        // Unusable input fails fast — there is nothing to advise on.
+        let prog = match self.load_input(&job.input) {
+            Ok(p) => p,
+            Err(msg) => {
+                jm.total = start.elapsed();
+                return self.finish(job, JobStatus::Failed(msg), jm);
+            }
+        };
+
+        // Everything from here on is panic-isolated. The slots let the
+        // unwind path reach the analysis (for the advisory fallback)
+        // and the partially filled metrics.
+        let analysis_slot: RefCell<Option<Arc<Analysis>>> = RefCell::new(None);
+        let jm_cell = RefCell::new(jm);
+        let body =
+            AssertUnwindSafe(|| self.job_body(job, &prog, deadline, &analysis_slot, &jm_cell));
+        let status = match quiet_catch_unwind(body) {
+            Ok(status) => status,
+            Err(payload) => {
+                self.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                let report = analysis_slot
+                    .borrow()
+                    .as_ref()
+                    .map(|a| advisory_report(&prog, a));
+                JobStatus::Advisory {
+                    reason: Degradation::Panic(panic_message(payload)),
+                    report,
+                }
+            }
+        };
+        let mut jm = jm_cell.into_inner();
+        jm.total = start.elapsed();
+        self.finish(job, status, jm)
+    }
+
+    fn load_input(&self, input: &JobInput) -> Result<Program, String> {
+        let prog = match input {
+            JobInput::Program(p) => p.clone(),
+            JobInput::Source(src) => {
+                slo_ir::parser::parse(src).map_err(|e| format!("parse: {e}"))?
+            }
+        };
+        let errs = slo_ir::verify::verify(&prog);
+        if !errs.is_empty() {
+            return Err(format!("invalid IR: {}", errs[0]));
+        }
+        Ok(prog)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn job_body(
+        &self,
+        job: &Job,
+        prog: &Program,
+        deadline: Option<Instant>,
+        analysis_slot: &RefCell<Option<Arc<Analysis>>>,
+        jm: &RefCell<JobMetrics>,
+    ) -> JobStatus {
+        if job.fault == Some(Fault::PanicBeforeAnalysis) {
+            panic!("injected fault: panic before analysis");
+        }
+
+        // --- profile (PBO only) --------------------------------------
+        let owned_fb: Option<Feedback> = match &job.scheme {
+            SchemeSpec::Pbo => {
+                let opts = VmOptions::builder()
+                    .collect_edges(true)
+                    .sample_dcache(true)
+                    .step_limit(job.budget.steps)
+                    .build();
+                let t = Instant::now();
+                let run = slo_vm::run(prog, &opts);
+                jm.borrow_mut().exec += t.elapsed();
+                match run {
+                    Ok(out) => Some(out.feedback),
+                    Err(ExecError::StepLimit) => {
+                        return JobStatus::Advisory {
+                            reason: Degradation::Budget(
+                                "profile collection exceeded the step budget".into(),
+                            ),
+                            report: None,
+                        }
+                    }
+                    Err(e) => return JobStatus::Failed(format!("profiling run: {e}")),
+                }
+            }
+            SchemeSpec::PboProfile(text) => match Feedback::from_text(text) {
+                Ok(fb) => Some(fb),
+                Err(e) => return JobStatus::Failed(format!("profile: {e}")),
+            },
+            _ => None,
+        };
+        let scheme = match (&job.scheme, &owned_fb) {
+            (SchemeSpec::Pbo | SchemeSpec::PboProfile(_), Some(fb)) => WeightScheme::Pbo(fb),
+            (SchemeSpec::Spbo, _) => WeightScheme::Spbo,
+            (SchemeSpec::IspboNo, _) => WeightScheme::IspboNo,
+            (SchemeSpec::IspboW, _) => WeightScheme::IspboW,
+            _ => WeightScheme::Ispbo,
+        };
+
+        if let Some(d) = over_deadline(deadline) {
+            return JobStatus::Advisory {
+                reason: d,
+                report: None,
+            };
+        }
+
+        // --- FE + IPA, memoized by content hash ----------------------
+        let key = slo::analysis_cache_key(prog, &scheme, &job.config);
+        let cached = self.cache.lock().expect("cache lock").get(key);
+        let analysis = match cached {
+            Some(a) => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                jm.borrow_mut().cache_hit = true;
+                a
+            }
+            None => {
+                self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let a = Arc::new(slo::analyze(prog, &scheme, &job.config));
+                {
+                    let mut m = jm.borrow_mut();
+                    m.fe = a.fe;
+                    m.ipa = a.ipa_time;
+                }
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(key, Arc::clone(&a));
+                a
+            }
+        };
+        *analysis_slot.borrow_mut() = Some(Arc::clone(&analysis));
+
+        if let Some(d) = over_deadline(deadline) {
+            return JobStatus::Advisory {
+                reason: d,
+                report: Some(advisory_report(prog, &analysis)),
+            };
+        }
+        if job.fault == Some(Fault::PanicInBe) {
+            panic!("injected fault: panic in BE");
+        }
+
+        // --- BE ------------------------------------------------------
+        let t = Instant::now();
+        let compiled = slo::apply(prog, &analysis);
+        jm.borrow_mut().be = t.elapsed();
+        let res = match compiled {
+            Ok(res) => res,
+            Err(e) => {
+                return JobStatus::Advisory {
+                    reason: Degradation::Transform(e.to_string()),
+                    report: Some(advisory_report(prog, &analysis)),
+                }
+            }
+        };
+
+        // --- differential verification + evaluation ------------------
+        let opts = VmOptions::builder().step_limit(job.budget.steps).build();
+        let degrade = |reason: Degradation| JobStatus::Advisory {
+            reason,
+            report: Some(advisory_report(prog, &analysis)),
+        };
+        let t = Instant::now();
+        let base = slo_vm::run(prog, &opts);
+        jm.borrow_mut().exec += t.elapsed();
+        let base = match base {
+            Ok(o) => o,
+            Err(ExecError::StepLimit) => {
+                return degrade(Degradation::Budget(
+                    "baseline run exceeded the step budget".into(),
+                ))
+            }
+            Err(e) => {
+                return degrade(Degradation::Verification(format!(
+                    "baseline run faulted: {e}"
+                )))
+            }
+        };
+        if let Some(d) = over_deadline(deadline) {
+            return degrade(d);
+        }
+        let t = Instant::now();
+        let opt = slo_vm::run(&res.program, &opts);
+        jm.borrow_mut().exec += t.elapsed();
+        let opt = match opt {
+            Ok(o) => o,
+            Err(ExecError::StepLimit) => {
+                return degrade(Degradation::Budget(
+                    "transformed run exceeded the step budget".into(),
+                ))
+            }
+            Err(e) => {
+                return degrade(Degradation::Verification(format!(
+                    "transformed run faulted: {e}"
+                )))
+            }
+        };
+        if base.exit != opt.exit {
+            return degrade(Degradation::Verification(format!(
+                "exit mismatch: baseline {:?}, transformed {:?}",
+                base.exit, opt.exit
+            )));
+        }
+
+        JobStatus::Optimized(Optimized {
+            transformed: print_program(&res.program),
+            num_transformed: res.plan.num_transformed(),
+            eval: Evaluation {
+                baseline_cycles: base.stats.cycles,
+                optimized_cycles: opt.stats.cycles,
+                baseline_instructions: base.stats.instructions,
+                optimized_instructions: opt.stats.instructions,
+            },
+            ipa_fingerprint: ipa_fingerprint(&analysis.ipa),
+        })
+    }
+
+    /// Tally counters and assemble the outcome.
+    fn finish(&self, job: &Job, status: JobStatus, jm: JobMetrics) -> JobOutcome {
+        self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
+        let slot = match &status {
+            JobStatus::Optimized(_) => &self.metrics.optimized,
+            JobStatus::Advisory { .. } => &self.metrics.degraded,
+            JobStatus::Failed(_) => &self.metrics.failed,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        ServiceMetrics::add_duration(&self.metrics.queue_wait_ns, jm.queue_wait);
+        ServiceMetrics::add_duration(&self.metrics.fe_ns, jm.fe);
+        ServiceMetrics::add_duration(&self.metrics.ipa_ns, jm.ipa);
+        ServiceMetrics::add_duration(&self.metrics.be_ns, jm.be);
+        ServiceMetrics::add_duration(&self.metrics.exec_ns, jm.exec);
+        if let Ok(c) = self.cache.lock() {
+            // Evictions are bookkept inside the cache; mirror them into
+            // the exported counters (hits/misses are tallied directly).
+            self.metrics
+                .cache_evictions
+                .store(c.counters().2, Ordering::Relaxed);
+        }
+        JobOutcome {
+            id: job.id.clone(),
+            status,
+            metrics: jm,
+        }
+    }
+}
+
+/// `Some(Degradation::Budget)` once `deadline` has passed.
+thread_local! {
+    // Set while a job body runs under `catch_unwind`, so the process
+    // panic hook stays silent for panics the service absorbs.
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `catch_unwind` without the default hook's stderr backtrace: the hook
+/// is wrapped once (chaining to whatever was installed before) to skip
+/// printing when the panicking thread is inside a guarded job body.
+/// Panics on other threads are reported exactly as before.
+fn quiet_catch_unwind<R>(
+    body: AssertUnwindSafe<impl FnOnce() -> R>,
+) -> Result<R, Box<dyn std::any::Any + Send>> {
+    static WRAP_HOOK: std::sync::Once = std::sync::Once::new();
+    WRAP_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let result = catch_unwind(body);
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    result
+}
+
+fn over_deadline(deadline: Option<Instant>) -> Option<Degradation> {
+    match deadline {
+        Some(d) if Instant::now() > d => {
+            Some(Degradation::Budget("wall-clock budget exhausted".into()))
+        }
+        _ => None,
+    }
+}
+
+/// The §3 advisory report for a program whose transform was abandoned.
+fn advisory_report(prog: &Program, analysis: &Analysis) -> String {
+    let input = slo_advisor::AdvisorInput {
+        prog,
+        ipa: &analysis.ipa,
+        graphs: &analysis.graphs,
+        counts: &analysis.counts,
+        dcache: analysis.dcache.as_ref(),
+        strides: None,
+        plan: Some(&analysis.plan),
+    };
+    slo_advisor::render_report(&input)
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

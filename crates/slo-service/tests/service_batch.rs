@@ -1,0 +1,314 @@
+//! Integration tests for the batch service: cache correctness (hits are
+//! counter-asserted, perturbations miss, cached output is bit-identical
+//! to uncached), parallel-vs-sequential determinism, and the graceful
+//! degradation ladder.
+
+use slo_service::{
+    Budget, Degradation, Fault, Job, JobOutcome, JobStatus, SchemeSpec, Service, ServiceConfig,
+};
+
+/// A program the pipeline actually transforms (hot field + cold tail,
+/// array-indexed in a loop), in canonical printer form.
+const SAMPLE: &str = r#"
+record pair { hot: i64, c1: i64, c2: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc pair, 64
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 64
+  br r2, bb2, bb3
+bb2:
+  r3 = indexaddr r0, pair, r1
+  r4 = fieldaddr r3, pair.hot
+  store r1, r4 : i64
+  r5 = load r4 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r6 = fieldaddr r0, pair.c1
+  store 1, r6 : i64
+  r7 = load r6 : i64
+  r8 = fieldaddr r0, pair.c2
+  store 2, r8 : i64
+  r9 = load r8 : i64
+  r10 = add r7, r9
+  ret r10
+}
+"#;
+
+fn service(workers: usize, cache: usize) -> Service {
+    Service::new(
+        ServiceConfig::builder()
+            .workers(workers)
+            .cache_capacity(cache)
+            .build(),
+    )
+}
+
+/// Everything observable about an outcome except wall-clock timings.
+fn digest(o: &JobOutcome) -> String {
+    match &o.status {
+        JobStatus::Optimized(opt) => format!(
+            "{} optimized {} {} {} {:016x}\n{}",
+            o.id,
+            opt.num_transformed,
+            opt.eval.baseline_cycles,
+            opt.eval.optimized_cycles,
+            opt.ipa_fingerprint,
+            opt.transformed
+        ),
+        JobStatus::Advisory { reason, report } => format!(
+            "{} advisory {} {}",
+            o.id,
+            reason.kind(),
+            report.as_deref().unwrap_or("-")
+        ),
+        JobStatus::Failed(msg) => format!("{} failed {msg}", o.id),
+    }
+}
+
+fn expect_optimized(o: &JobOutcome) -> &slo_service::Optimized {
+    match &o.status {
+        JobStatus::Optimized(opt) => opt,
+        other => panic!("{}: expected optimized, got {}", o.id, other.kind()),
+    }
+}
+
+#[test]
+fn identical_jobs_hit_the_cache_counters_say_so() {
+    let svc = service(1, 64);
+    let jobs: Vec<Job> = (0..8)
+        .map(|i| Job::from_source(format!("j{i}"), SAMPLE))
+        .collect();
+    let outcomes = svc.run_batch(&jobs);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o.status, JobStatus::Optimized(_))));
+
+    let m = svc.metrics();
+    assert_eq!(m.cache_misses, 1, "first job analyzes");
+    assert_eq!(m.cache_hits, 7, "the other seven reuse it");
+    // the hit/miss observation is also per-outcome
+    assert_eq!(outcomes.iter().filter(|o| o.metrics.cache_hit).count(), 7);
+}
+
+#[test]
+fn second_identical_batch_is_fully_cached() {
+    let svc = service(2, 64);
+    let jobs: Vec<Job> = (0..16)
+        .map(|i| {
+            Job::from_source(format!("j{i}"), SAMPLE).scheme(if i % 2 == 0 {
+                SchemeSpec::Ispbo
+            } else {
+                SchemeSpec::Spbo
+            })
+        })
+        .collect();
+    svc.run_batch(&jobs);
+    let before = svc.metrics();
+    svc.run_batch(&jobs);
+    let delta = svc.metrics().since(&before);
+    assert_eq!(delta.cache_misses, 0, "rerun must not re-analyze");
+    assert_eq!(delta.cache_hits, 16);
+    assert!(delta.cache_hit_rate() >= 0.9, "acceptance floor is 90%");
+}
+
+#[test]
+fn whitespace_perturbation_still_hits_semantic_perturbation_misses() {
+    let svc = service(1, 64);
+    svc.run_batch(&[Job::from_source("base", SAMPLE)]);
+
+    // same program modulo formatting: the key is over *normalized* IR
+    let reformatted = SAMPLE.replace("  r1 = 0", "  r1  =   0");
+    svc.run_batch(&[Job::from_source("ws", reformatted)]);
+    assert_eq!(svc.metrics().cache_hits, 1, "formatting must not miss");
+
+    // a changed constant is a different program
+    let changed = SAMPLE.replace("store 2, r8 : i64", "store 3, r8 : i64");
+    svc.run_batch(&[Job::from_source("const", changed)]);
+    // a different scheme weights the same IR differently
+    svc.run_batch(&[Job::from_source("scheme", SAMPLE).scheme(SchemeSpec::IspboW)]);
+    // a different legality config can change verdicts
+    let relaxed = slo::PipelineConfig::builder().relax_cast_addr(true).build();
+    svc.run_batch(&[Job::from_source("cfg", SAMPLE).config(relaxed)]);
+
+    let m = svc.metrics();
+    assert_eq!(
+        m.cache_misses, 4,
+        "base + const + scheme + config each analyze once"
+    );
+    assert_eq!(m.cache_hits, 1, "only the whitespace variant hits");
+}
+
+#[test]
+fn cached_and_uncached_outputs_are_bit_identical() {
+    let uncached = service(1, 0); // capacity 0 disables the cache
+    let cold = uncached.run_batch(&[Job::from_source("x", SAMPLE)]);
+    assert_eq!(uncached.metrics().cache_hits, 0);
+
+    let cached = service(1, 64);
+    let first = cached.run_batch(&[Job::from_source("x", SAMPLE)]);
+    let second = cached.run_batch(&[Job::from_source("x", SAMPLE)]);
+    assert!(second[0].metrics.cache_hit);
+
+    let (a, b, c) = (
+        expect_optimized(&cold[0]),
+        expect_optimized(&first[0]),
+        expect_optimized(&second[0]),
+    );
+    assert_eq!(a.transformed, b.transformed);
+    assert_eq!(b.transformed, c.transformed);
+    assert_eq!(a.ipa_fingerprint, c.ipa_fingerprint);
+    assert_eq!(a.eval.baseline_cycles, c.eval.baseline_cycles);
+    assert_eq!(a.eval.optimized_cycles, c.eval.optimized_cycles);
+}
+
+#[test]
+fn eight_worker_batch_matches_sequential_run() {
+    // distinct programs of several shapes, repeated with distinct schemes
+    let mut jobs = Vec::new();
+    for (i, n) in [16i64, 32, 48, 64].iter().enumerate() {
+        let prog = slo_workloads::kernel::build(*n, 200);
+        for (j, scheme) in [SchemeSpec::Ispbo, SchemeSpec::Spbo, SchemeSpec::IspboNo]
+            .iter()
+            .enumerate()
+        {
+            jobs.push(Job::from_program(format!("k{i}s{j}"), prog.clone()).scheme(scheme.clone()));
+        }
+    }
+    jobs.push(Job::from_source("sample", SAMPLE));
+
+    let sequential = service(1, 0).run_batch(&jobs);
+    let parallel = service(8, 64).run_batch(&jobs);
+    assert_eq!(sequential.len(), parallel.len());
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(digest(s), digest(p), "job {} diverged", s.id);
+    }
+}
+
+#[test]
+fn panicking_job_degrades_without_failing_the_batch() {
+    let svc = service(4, 64);
+    let jobs = vec![
+        Job::from_source("ok1", SAMPLE),
+        Job::from_source("boom-early", SAMPLE).fault(Fault::PanicBeforeAnalysis),
+        Job::from_source("boom-late", SAMPLE).fault(Fault::PanicInBe),
+        Job::from_source("ok2", SAMPLE),
+    ];
+    let outcomes = svc.run_batch(&jobs);
+    assert_eq!(outcomes.len(), 4, "the batch survives");
+
+    let by_id = |id: &str| outcomes.iter().find(|o| o.id == id).expect("outcome");
+    assert!(matches!(by_id("ok1").status, JobStatus::Optimized(_)));
+    assert!(matches!(by_id("ok2").status, JobStatus::Optimized(_)));
+
+    // before analysis: nothing to advise on, but still only advisory
+    match &by_id("boom-early").status {
+        JobStatus::Advisory {
+            reason: Degradation::Panic(msg),
+            report,
+        } => {
+            assert!(msg.contains("injected"), "payload preserved: {msg}");
+            assert!(report.is_none(), "no analysis happened yet");
+        }
+        other => panic!("expected panic advisory, got {}", other.kind()),
+    }
+    // after analysis: the §3 report is the fallback deliverable
+    match &by_id("boom-late").status {
+        JobStatus::Advisory {
+            reason: Degradation::Panic(_),
+            report,
+        } => {
+            let report = report.as_deref().expect("advisory report");
+            assert!(report.contains("pair"), "report covers the input types");
+        }
+        other => panic!("expected panic advisory, got {}", other.kind()),
+    }
+    assert_eq!(svc.metrics().panics, 2);
+    assert_eq!(svc.metrics().degraded, 2);
+}
+
+#[test]
+fn over_budget_job_degrades_to_advisory() {
+    let svc = service(1, 64);
+    let outcomes = svc.run_batch(&[
+        Job::from_source("tight-steps", SAMPLE).budget(Budget::steps(10)),
+        Job::from_source("roomy", SAMPLE),
+    ]);
+    match &outcomes[0].status {
+        JobStatus::Advisory {
+            reason: Degradation::Budget(_),
+            ..
+        } => {}
+        other => panic!("expected budget advisory, got {}", other.kind()),
+    }
+    assert!(matches!(outcomes[1].status, JobStatus::Optimized(_)));
+}
+
+#[test]
+fn zero_wall_budget_still_returns_structured_outcome() {
+    let svc = service(1, 64);
+    let outcomes = svc.run_batch(&[Job::from_source("nowall", SAMPLE).budget(Budget::wall_ms(0))]);
+    match &outcomes[0].status {
+        JobStatus::Advisory {
+            reason: Degradation::Budget(_),
+            ..
+        } => {}
+        other => panic!("expected budget advisory, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn unparseable_input_fails_fast() {
+    let svc = service(1, 64);
+    let outcomes = svc.run_batch(&[
+        Job::from_source("garbage", "record { nope"),
+        Job::from_source("fine", SAMPLE),
+    ]);
+    assert!(matches!(outcomes[0].status, JobStatus::Failed(_)));
+    assert!(matches!(outcomes[1].status, JobStatus::Optimized(_)));
+    let m = svc.metrics();
+    assert_eq!(m.failed, 1);
+    assert_eq!(m.optimized, 1);
+}
+
+#[test]
+fn lru_cache_evicts_under_pressure() {
+    let svc = service(1, 2);
+    let progs: Vec<Job> = [16i64, 32, 48]
+        .iter()
+        .map(|n| Job::from_program(format!("k{n}"), slo_workloads::kernel::build(*n, 100)))
+        .collect();
+    svc.run_batch(&progs); // three distinct keys through a 2-entry cache
+    let m = svc.metrics();
+    assert_eq!(m.cache_misses, 3);
+    assert!(m.cache_evictions >= 1, "capacity 2 cannot hold 3 entries");
+
+    // the least recently used entry (k16) is gone; k48 is resident
+    let before = svc.metrics();
+    svc.run_batch(&[Job::from_program(
+        "k48-again",
+        slo_workloads::kernel::build(48, 100),
+    )]);
+    let delta = svc.metrics().since(&before);
+    assert_eq!(delta.cache_hits, 1, "most recent entry is resident");
+}
+
+#[test]
+fn metrics_snapshot_exports_json() {
+    let svc = service(1, 64);
+    svc.run_batch(&[Job::from_source("a", SAMPLE)]);
+    let json = svc.metrics().to_json();
+    for key in [
+        "\"jobs\"",
+        "\"optimized\"",
+        "\"degraded\"",
+        "\"cache_hits\"",
+        "\"cache_hit_rate\"",
+        "\"queue_wait_ns\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}

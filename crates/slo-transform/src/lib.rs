@@ -23,7 +23,9 @@ pub mod rewrite;
 
 pub use gvl::{apply_gvl, gvl, gvl_order};
 pub use peel::{apply_interleave, peel_by_name, PeelMode};
-pub use plan::{decide, peelable, HeuristicsConfig, TransformPlan, TypeTransform};
+pub use plan::{
+    decide, peelable, HeuristicsConfig, HeuristicsConfigBuilder, TransformPlan, TypeTransform,
+};
 pub use reorder::{reorder_by_names, reorder_fields};
 pub use rewrite::{apply_plan, RewriteError};
 

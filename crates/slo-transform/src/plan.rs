@@ -133,6 +133,62 @@ impl HeuristicsConfig {
             ..Self::pbo()
         }
     }
+
+    /// Start building from the PBO defaults (the `Default` impl).
+    pub fn builder() -> HeuristicsConfigBuilder {
+        HeuristicsConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`HeuristicsConfig`] (see [`HeuristicsConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct HeuristicsConfigBuilder {
+    cfg: HeuristicsConfig,
+}
+
+impl HeuristicsConfigBuilder {
+    /// `T_s`: relative-hotness split threshold in percent.
+    pub fn split_threshold(mut self, ts: f64) -> Self {
+        self.cfg.split_threshold = ts;
+        self
+    }
+
+    /// Minimum number of split-out fields for a split to pay off.
+    pub fn min_split_fields(mut self, n: usize) -> Self {
+        self.cfg.min_split_fields = n;
+        self
+    }
+
+    /// Allow peeling.
+    pub fn enable_peel(mut self, on: bool) -> Self {
+        self.cfg.enable_peel = on;
+        self
+    }
+
+    /// Allow splitting.
+    pub fn enable_split(mut self, on: bool) -> Self {
+        self.cfg.enable_split = on;
+        self
+    }
+
+    /// Allow dead-field removal.
+    pub fn enable_dead_removal(mut self, on: bool) -> Self {
+        self.cfg.enable_dead_removal = on;
+        self
+    }
+
+    /// Prefer instance interleaving over separate-array peeling.
+    pub fn prefer_interleave(mut self, on: bool) -> Self {
+        self.cfg.prefer_interleave = on;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> HeuristicsConfig {
+        self.cfg
+    }
 }
 
 impl Default for HeuristicsConfig {

@@ -96,6 +96,76 @@ impl VmOptions {
         self.engine = Engine::Structured;
         self
     }
+
+    /// Start building options from the defaults — the one construction
+    /// path shared by the CLI, batch service, fuzzer and bench drivers.
+    /// Plain field-struct literals over `Default` keep compiling.
+    pub fn builder() -> VmOptionsBuilder {
+        VmOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`VmOptions`] (see [`VmOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct VmOptionsBuilder {
+    opts: VmOptions,
+}
+
+impl VmOptionsBuilder {
+    /// Replace the cache hierarchy configuration.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.opts.cache = cache;
+        self
+    }
+
+    /// Replace the instruction cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.opts.cost = cost;
+        self
+    }
+
+    /// Collect CFG edge counts (PBO instrumentation).
+    pub fn collect_edges(mut self, on: bool) -> Self {
+        self.opts.collect_edges = on;
+        self
+    }
+
+    /// Collect sampled d-cache events (PMU sampling).
+    pub fn sample_dcache(mut self, on: bool) -> Self {
+        self.opts.sample_dcache = on;
+        self
+    }
+
+    /// Sample every `n`th memory access (1 = all).
+    pub fn sample_period(mut self, n: u64) -> Self {
+        self.opts.sample_period = n;
+        self
+    }
+
+    /// Abort after `n` executed instructions (per-request step budget).
+    pub fn step_limit(mut self, n: u64) -> Self {
+        self.opts.step_limit = n;
+        self
+    }
+
+    /// Abort beyond this call depth.
+    pub fn call_depth_limit(mut self, n: usize) -> Self {
+        self.opts.call_depth_limit = n;
+        self
+    }
+
+    /// Select the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.opts.engine = engine;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> VmOptions {
+        self.opts
+    }
 }
 
 /// Execution statistics of one run.

@@ -44,6 +44,8 @@ pub use cache::{AccessResult, CacheConfig, CacheLevelConfig, CacheSim, CacheStat
 pub use cost::CostModel;
 pub use decode::{run_decoded, run_func_decoded, DecodedProgram};
 pub use heap::{Heap, MemError, ScalarValue};
-pub use interp::{run, run_func, Engine, ExecError, ExecOutcome, ExecStats, VmOptions};
+pub use interp::{
+    run, run_func, Engine, ExecError, ExecOutcome, ExecStats, VmOptions, VmOptionsBuilder,
+};
 pub use profile::{DcacheSample, Feedback, FeedbackParseError, FuncProfile};
 pub use value::Value;

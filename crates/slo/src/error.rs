@@ -1,0 +1,121 @@
+//! `SloError` — the one workspace-wide error type.
+//!
+//! Every fallible entry point of the facade crate (and the CLI and
+//! batch service built on it) funnels into this enum, replacing the
+//! stringly `CliError(String)` and ad-hoc `Box<dyn Error>` returns the
+//! crates grew independently. Variants follow the pipeline's failure
+//! domains, and each lower-level error type converts via `From`, so
+//! `?` composes across crate boundaries without `map_err` noise.
+
+use slo_ir::parser::ParseError;
+use slo_transform::RewriteError;
+use slo_vm::{ExecError, FeedbackParseError};
+use std::fmt;
+
+/// Workspace-wide error: what went wrong, by pipeline domain.
+#[derive(Debug)]
+pub enum SloError {
+    /// Textual IR / profile / manifest input did not parse or verify.
+    Parse(String),
+    /// A legality precondition was violated (e.g. a forced transform on
+    /// a type the analysis rejects).
+    Legality(String),
+    /// The BE rewrite failed.
+    Transform(RewriteError),
+    /// The simulated machine faulted.
+    Vm(ExecError),
+    /// A per-request budget (wall clock or VM step limit) was exhausted.
+    Budget(String),
+    /// Host filesystem I/O failed.
+    Io(String),
+    /// Bad command-line / job-spec usage.
+    Usage(String),
+}
+
+impl fmt::Display for SloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloError::Parse(m) => write!(f, "parse error: {m}"),
+            SloError::Legality(m) => write!(f, "legality error: {m}"),
+            SloError::Transform(e) => write!(f, "transform error: {e}"),
+            SloError::Vm(e) => write!(f, "vm error: {e}"),
+            SloError::Budget(m) => write!(f, "budget exhausted: {m}"),
+            SloError::Io(m) => write!(f, "io error: {m}"),
+            SloError::Usage(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for SloError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SloError::Transform(e) => Some(e),
+            SloError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for SloError {
+    fn from(e: ParseError) -> Self {
+        SloError::Parse(e.to_string())
+    }
+}
+
+impl From<FeedbackParseError> for SloError {
+    fn from(e: FeedbackParseError) -> Self {
+        SloError::Parse(format!("profile: {e}"))
+    }
+}
+
+impl From<RewriteError> for SloError {
+    fn from(e: RewriteError) -> Self {
+        SloError::Transform(e)
+    }
+}
+
+impl From<ExecError> for SloError {
+    fn from(e: ExecError) -> Self {
+        // A step-limit abort is a budget outcome, not a machine fault:
+        // the service sizes `VmOptions::step_limit` from the job budget
+        // and must be able to tell "ran out of budget" from "crashed".
+        match e {
+            ExecError::StepLimit => SloError::Budget("VM step limit exceeded".into()),
+            other => SloError::Vm(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for SloError {
+    fn from(e: std::io::Error) -> Self {
+        SloError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed_by_domain() {
+        let e: SloError = RewriteError::Unsupported("x".into()).into();
+        assert!(e.to_string().starts_with("transform error:"));
+        let e: SloError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().starts_with("io error:"));
+    }
+
+    #[test]
+    fn step_limit_becomes_budget() {
+        let e: SloError = ExecError::StepLimit.into();
+        assert!(matches!(e, SloError::Budget(_)));
+        let e: SloError = ExecError::CallDepth.into();
+        assert!(matches!(e, SloError::Vm(_)));
+    }
+
+    #[test]
+    fn parse_errors_convert() {
+        let perr = slo_ir::parser::parse("record {").unwrap_err();
+        let e: SloError = perr.into();
+        assert!(matches!(e, SloError::Parse(_)));
+    }
+}

@@ -54,10 +54,13 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod pipeline;
 
+pub use error::SloError;
 pub use pipeline::{
-    collect_profile, compile, evaluate, CompileResult, Evaluation, PhaseTimings, PipelineConfig,
+    analysis_cache_key, analyze, apply, collect_profile, compile, evaluate, Analysis,
+    CompileResult, Evaluation, PhaseTimings, PipelineConfig, PipelineConfigBuilder,
 };
 
 pub use slo_advisor as advisor;

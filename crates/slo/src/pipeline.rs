@@ -11,21 +11,32 @@
 //!
 //! Each phase is timed so the §2.5 compile-time overhead experiment can
 //! be regenerated.
+//!
+//! The FE + IPA half is exposed separately from the BE half
+//! ([`analyze`] / [`apply`]) so the batch service can memoize analysis
+//! results by content hash ([`analysis_cache_key`]) and re-run only the
+//! rewrite per job; [`compile`] is the one-shot composition.
 
+use crate::error::SloError;
 use slo_analysis::affinity::{
     build_affinity_graphs, build_field_counts, AffinityGraph, FieldCounts,
 };
 use slo_analysis::dcache::FieldDcache;
+use slo_analysis::fingerprint::{fold_legality_config, fold_scheme};
 use slo_analysis::ipa::{aggregate, IpaResult, LegalityConfig};
 use slo_analysis::legality::analyze_all_units;
 use slo_analysis::schemes::{block_frequencies, WeightScheme};
-use slo_ir::{Program, RecordId};
-use slo_transform::{apply_plan, decide, HeuristicsConfig, RewriteError, TransformPlan};
+use slo_ir::{Fnv64, Program, RecordId};
+use slo_transform::{apply_plan, decide, HeuristicsConfig, TransformPlan};
 use slo_vm::Feedback;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
+///
+/// The unified config every front end (CLI, batch service, fuzzer,
+/// bench drivers) constructs the same way — via [`PipelineConfig::builder`].
+/// Plain field-struct literals over `Default` keep compiling.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineConfig {
     /// Legality configuration (relaxation flag, SMAL threshold).
@@ -35,6 +46,99 @@ pub struct PipelineConfig {
     pub heuristics: Option<HeuristicsConfig>,
     /// Attribute d-cache samples (needs a feedback with samples).
     pub attribute_dcache: bool,
+}
+
+impl PipelineConfig {
+    /// Start building a configuration.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: PipelineConfig::default(),
+        }
+    }
+
+    /// Fold every knob into a stable hasher — the config part of the
+    /// analysis cache key. `None` heuristics and an explicit
+    /// scheme-default config hash differently on purpose: they *are*
+    /// different requests (the former tracks future default changes).
+    pub fn fold_into(&self, h: &mut Fnv64) {
+        use std::hash::Hasher as _;
+        h.write_str("PipelineConfig");
+        fold_legality_config(&self.legality, h);
+        match &self.heuristics {
+            None => h.write_bool(false),
+            Some(hc) => {
+                h.write_bool(true);
+                h.write_f64(hc.split_threshold);
+                h.write_u64(hc.min_split_fields as u64);
+                h.write_bool(hc.enable_peel);
+                h.write_bool(hc.enable_split);
+                h.write_bool(hc.enable_dead_removal);
+                h.write_bool(hc.prefer_interleave);
+            }
+        }
+        h.write_bool(self.attribute_dcache);
+    }
+}
+
+/// Builder for [`PipelineConfig`] (see [`PipelineConfig::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Replace the whole legality configuration.
+    pub fn legality(mut self, legality: LegalityConfig) -> Self {
+        self.cfg.legality = legality;
+        self
+    }
+
+    /// Tolerate CSTT/CSTF/ATKN unconditionally (Table 1's "Relax").
+    pub fn relax_cast_addr(mut self, relax: bool) -> Self {
+        self.cfg.legality.relax_cast_addr = relax;
+        self
+    }
+
+    /// Relax only where field-sensitive points-to sets stay precise.
+    pub fn pointsto_relax(mut self, relax: bool) -> Self {
+        self.cfg.legality.pointsto_relax = relax;
+        self
+    }
+
+    /// SMAL threshold *A* (constant allocation counts `<= A` invalidate).
+    pub fn smal_threshold(mut self, a: i64) -> Self {
+        self.cfg.legality.smal_threshold = a;
+        self
+    }
+
+    /// Pin the full heuristics configuration (disables the
+    /// derive-from-scheme default).
+    pub fn heuristics(mut self, heuristics: HeuristicsConfig) -> Self {
+        self.cfg.heuristics = Some(heuristics);
+        self
+    }
+
+    /// Pin the split threshold `T_s` (percent), keeping the other
+    /// heuristic knobs at their current (or default) values. Like
+    /// [`Self::heuristics`], this disables the derive-from-scheme
+    /// default.
+    pub fn split_threshold(mut self, ts: f64) -> Self {
+        let mut hc = self.cfg.heuristics.unwrap_or_default();
+        hc.split_threshold = ts;
+        self.cfg.heuristics = Some(hc);
+        self
+    }
+
+    /// Attribute d-cache samples (needs a PBO/PPBO scheme with samples).
+    pub fn attribute_dcache(mut self, on: bool) -> Self {
+        self.cfg.attribute_dcache = on;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> PipelineConfig {
+        self.cfg
+    }
 }
 
 /// Wall-clock time spent per phase.
@@ -67,16 +171,42 @@ pub struct CompileResult {
     pub timings: PhaseTimings,
 }
 
-/// Run the full pipeline over `prog` under `scheme`.
-///
-/// # Errors
-///
-/// Propagates [`RewriteError`] from the BE.
-pub fn compile(
-    prog: &Program,
-    scheme: &WeightScheme<'_>,
-    cfg: &PipelineConfig,
-) -> Result<CompileResult, RewriteError> {
+/// The FE + IPA products for one (program, scheme, config) triple: the
+/// unit the batch service memoizes by [`analysis_cache_key`]. Applying
+/// a (possibly cached) `Analysis` to its program via [`apply`] yields
+/// the same [`CompileResult`] a one-shot [`compile`] produces.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Legality verdicts (IPA aggregation).
+    pub ipa: IpaResult,
+    /// Affinity graphs under the chosen scheme.
+    pub graphs: HashMap<RecordId, AffinityGraph>,
+    /// Read/write counts.
+    pub counts: HashMap<(RecordId, u32), FieldCounts>,
+    /// Attributed d-cache samples, when requested and available.
+    pub dcache: Option<HashMap<(RecordId, u32), FieldDcache>>,
+    /// The plan IPA hands to the BE.
+    pub plan: TransformPlan,
+    /// FE wall-clock time (zero when replayed from cache).
+    pub fe: Duration,
+    /// IPA wall-clock time (zero when replayed from cache).
+    pub ipa_time: Duration,
+}
+
+/// Content-hash cache key for the analysis of `prog` under `scheme` and
+/// `cfg`: normalized IR (printer fixpoint) + scheme name/profile +
+/// every config knob. Stable across processes and platforms.
+pub fn analysis_cache_key(prog: &Program, scheme: &WeightScheme<'_>, cfg: &PipelineConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&slo_ir::printer::print_program(prog));
+    fold_scheme(scheme, &mut h);
+    cfg.fold_into(&mut h);
+    h.digest()
+}
+
+/// Run the FE and IPA phases (legality, profitability, planning) over
+/// `prog` under `scheme` — everything up to but excluding the rewrite.
+pub fn analyze(prog: &Program, scheme: &WeightScheme<'_>, cfg: &PipelineConfig) -> Analysis {
     // --- FE -----------------------------------------------------------
     let t0 = Instant::now();
     let summaries = analyze_all_units(prog);
@@ -105,24 +235,52 @@ pub fn compile(
     };
     let ipa_time = t1.elapsed();
 
-    // --- BE -----------------------------------------------------------
-    let t2 = Instant::now();
-    let program = apply_plan(prog, &plan)?;
-    let be = t2.elapsed();
-
-    Ok(CompileResult {
-        program,
-        plan,
+    Analysis {
         ipa,
         graphs,
         counts,
         dcache,
+        plan,
+        fe,
+        ipa_time,
+    }
+}
+
+/// Run the BE over `prog` using an (often cached) [`Analysis`].
+///
+/// # Errors
+///
+/// Propagates BE rewrite failures as [`SloError::Transform`].
+pub fn apply(prog: &Program, analysis: &Analysis) -> Result<CompileResult, SloError> {
+    let t2 = Instant::now();
+    let program = apply_plan(prog, &analysis.plan)?;
+    let be = t2.elapsed();
+    Ok(CompileResult {
+        program,
+        plan: analysis.plan.clone(),
+        ipa: analysis.ipa.clone(),
+        graphs: analysis.graphs.clone(),
+        counts: analysis.counts.clone(),
+        dcache: analysis.dcache.clone(),
         timings: PhaseTimings {
-            fe,
-            ipa: ipa_time,
+            fe: analysis.fe,
+            ipa: analysis.ipa_time,
             be,
         },
     })
+}
+
+/// Run the full pipeline over `prog` under `scheme`.
+///
+/// # Errors
+///
+/// Propagates BE rewrite failures as [`SloError::Transform`].
+pub fn compile(
+    prog: &Program,
+    scheme: &WeightScheme<'_>,
+    cfg: &PipelineConfig,
+) -> Result<CompileResult, SloError> {
+    apply(prog, &analyze(prog, scheme, cfg))
 }
 
 /// The PBO collection phase: run the instrumented program on the training
@@ -132,8 +290,9 @@ pub fn compile(
 ///
 /// # Errors
 ///
-/// Propagates VM execution errors.
-pub fn collect_profile(prog: &Program) -> Result<Feedback, slo_vm::ExecError> {
+/// Propagates VM execution errors as [`SloError::Vm`] (or
+/// [`SloError::Budget`] on a step-limit abort).
+pub fn collect_profile(prog: &Program) -> Result<Feedback, SloError> {
     let out = slo_vm::run(prog, &slo_vm::VmOptions::profiling())?;
     Ok(out.feedback)
 }
@@ -179,7 +338,7 @@ pub fn evaluate(
     baseline: &Program,
     optimized: &Program,
     opts: &slo_vm::VmOptions,
-) -> Result<Evaluation, slo_vm::ExecError> {
+) -> Result<Evaluation, SloError> {
     let b = slo_vm::run(baseline, opts)?;
     let o = slo_vm::run(optimized, opts)?;
     assert_eq!(
