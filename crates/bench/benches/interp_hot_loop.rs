@@ -11,10 +11,21 @@
 //! current decoded/structured instructions-per-second datapoint in
 //! `BENCH_vm.json` (under `hot_loop`), so the engine's speed is tracked
 //! across PRs like any other benchmark.
+//!
+//! The same pass measures the observability tax on the decoded hot
+//! loop: the default (untraced) options against an explicit no-op
+//! recorder — which must stay within 3% (asserted here) — and against
+//! an enabled recorder sampling counters every 2^16 steps. A traced
+//! compile of the mcf model also contributes the per-phase wall-clock
+//! breakdown stored under `phases` in `BENCH_vm.json`.
 
 use criterion::{criterion_group, Criterion, Throughput};
+use slo::analysis::WeightScheme;
+use slo::PipelineConfig;
 use slo_ir::Program;
+use slo_obs::{EventKind, Recorder};
 use slo_vm::{run, run_decoded, DecodedProgram, VmOptions};
+use std::collections::BTreeMap;
 use std::hint::black_box;
 
 /// Mid-sized configs: a few million simulated instructions per run, so
@@ -57,6 +68,10 @@ fn bench_hot_loop(c: &mut Criterion) {
             let sopts = opts.clone().structured();
             b.iter(|| black_box(run(&prog, &sopts).expect("structured run")))
         });
+        g.bench_function("decoded_noop_trace", |b| {
+            let topts = VmOptions::builder().trace(Recorder::disabled()).build();
+            b.iter(|| black_box(run_decoded(&prog, &dec, &topts).expect("decoded run")))
+        });
         g.finish();
     }
 }
@@ -96,10 +111,111 @@ fn record_trajectory() {
     }
 }
 
+/// Measure the observability tax on the decoded engine and assert the
+/// tentpole's zero-cost-when-disabled budget: an explicit no-op
+/// recorder must stay within 3% of the untraced default. Interleaved
+/// best-of-3 runs; one re-measure before declaring a violation so a
+/// single scheduler hiccup can't fail the bench.
+fn record_trace_overhead() {
+    for (name, prog) in workloads() {
+        let dec = DecodedProgram::new(&prog);
+        let noop_opts = VmOptions::builder().trace(Recorder::disabled()).build();
+        let sampled_rec = Recorder::with_capacity(1 << 12);
+        let sampled_opts = VmOptions::builder()
+            .trace(sampled_rec.clone())
+            .trace_step_interval(1 << 16)
+            .build();
+        let measure = |opts: &VmOptions| {
+            let mut best = 0.0f64;
+            for _ in 0..3 {
+                let t = std::time::Instant::now();
+                let instrs = run_decoded(&prog, &dec, opts)
+                    .expect("decoded run")
+                    .stats
+                    .instructions;
+                let secs = t.elapsed().as_secs_f64();
+                if secs > 0.0 {
+                    best = best.max(instrs as f64 / secs);
+                }
+            }
+            best
+        };
+        let untraced_opts = VmOptions::plain();
+        let mut baseline = measure(&untraced_opts);
+        let mut noop = measure(&noop_opts);
+        let mut overhead = if noop > 0.0 {
+            baseline / noop - 1.0
+        } else {
+            0.0
+        };
+        if overhead > 0.03 {
+            baseline = baseline.max(measure(&untraced_opts));
+            noop = noop.max(measure(&noop_opts));
+            overhead = if noop > 0.0 {
+                baseline / noop - 1.0
+            } else {
+                0.0
+            };
+        }
+        assert!(
+            overhead <= 0.03,
+            "hot_loop/{name}: no-op recorder costs {:.2}% over the untraced \
+             decoded engine (budget: 3%)",
+            overhead * 100.0
+        );
+        let sampled = measure(&sampled_opts);
+        bench::report::record_hot_loop_trace(name, baseline, noop, sampled);
+    }
+}
+
+/// Run one traced compile of the mcf model (plus a text round-trip so a
+/// `parse` span is present) and fold the pipeline spans into per-phase
+/// wall-clock totals for `phases.compile_mcf`.
+fn record_phase_breakdown() {
+    let prog = slo_workloads::mcf::build_config(slo_workloads::mcf::McfConfig {
+        n: 2_000,
+        iters: 4,
+        skew: 0,
+    });
+    let rec = Recorder::enabled();
+    {
+        let mut s = rec.span("pipeline", "parse");
+        let text = slo_ir::printer::print_program(&prog);
+        let reparsed = slo_ir::parser::parse(&text).expect("IR text round-trip");
+        s.arg("units", reparsed.funcs.len() as u64);
+        black_box(reparsed);
+    }
+    let res = slo::compile_with(
+        &prog,
+        &WeightScheme::Ispbo,
+        &PipelineConfig::default(),
+        &rec,
+    )
+    .expect("traced compile");
+    black_box(res);
+    let mut agg: BTreeMap<String, bench::report::PhaseStat> = BTreeMap::new();
+    for ev in rec.events() {
+        if matches!(ev.kind, EventKind::Complete) && ev.cat == "pipeline" && ev.name != "compile" {
+            let slot = agg
+                .entry(ev.name.clone())
+                .or_insert(bench::report::PhaseStat {
+                    wall_seconds: 0.0,
+                    spans: 0,
+                });
+            slot.wall_seconds += ev.dur_us as f64 / 1e6;
+            slot.spans += 1;
+        }
+    }
+    let phases: Vec<(String, bench::report::PhaseStat)> = agg.into_iter().collect();
+    bench::report::record_phases("compile_mcf", &phases);
+}
+
 criterion_group!(benches, bench_hot_loop);
 
 fn main() {
     let mut c = Criterion::default();
     benches(&mut c);
     record_trajectory();
+    record_trace_overhead();
+    record_phase_breakdown();
 }

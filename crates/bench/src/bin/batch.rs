@@ -133,15 +133,34 @@ fn main() {
     let par = service.run_batch(&jobs);
     let par_secs = t1.elapsed().as_secs_f64();
 
+    // `workers == 0` means "one per core"; resolve it so the report can
+    // tell a genuine parallel run from a single-core container, where a
+    // sub-1x "speedup" is pool overhead rather than a regression.
+    let effective_workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        workers
+    };
+
     let m = service.metrics();
-    println!(
-        "batch: {num_jobs} jobs, seq {seq_secs:.2}s, par {par_secs:.2}s \
-         ({:.2}x), {} optimized / {} advisory / {} failed",
-        seq_secs / par_secs.max(1e-9),
-        m.optimized,
-        m.degraded,
-        m.failed
-    );
+    if effective_workers <= 1 {
+        println!(
+            "batch: {num_jobs} jobs, seq {seq_secs:.2}s, par {par_secs:.2}s \
+             (single-core, speedup n/a), {} optimized / {} advisory / {} failed",
+            m.optimized, m.degraded, m.failed
+        );
+    } else {
+        println!(
+            "batch: {num_jobs} jobs, seq {seq_secs:.2}s, par {par_secs:.2}s \
+             ({:.2}x on {effective_workers} workers), {} optimized / {} advisory / {} failed",
+            seq_secs / par_secs.max(1e-9),
+            m.optimized,
+            m.degraded,
+            m.failed
+        );
+    }
 
     // determinism: parallel outcomes must be bit-identical to sequential.
     let mismatches = seq
@@ -237,7 +256,7 @@ fn main() {
     if json {
         record_batch(BatchStats {
             jobs: num_jobs,
-            workers: service.config().workers.max(1),
+            workers: effective_workers,
             seq_seconds: seq_secs,
             par_seconds: par_secs,
             rerun_hit_rate: hit_rate,

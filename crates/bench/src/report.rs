@@ -424,6 +424,77 @@ pub fn record_hot_loop(bench: &str, decoded_ips: f64, structured_ips: f64) {
     }
 }
 
+/// Merge tracing-overhead measurements for one `interp_hot_loop` bench
+/// into `hot_loop.<bench>` (alongside the engine comparison recorded by
+/// [`record_hot_loop`]): throughput with the default options, with an
+/// explicit no-op recorder, and with an enabled sampled recorder, plus
+/// the no-op overhead in percent (the tentpole's ≤ 3% budget).
+pub fn record_hot_loop_trace(bench: &str, baseline_ips: f64, noop_ips: f64, sampled_ips: f64) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let overhead_pct = if noop_ips > 0.0 {
+        (baseline_ips / noop_ips - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let entry = root.entry_object("hot_loop").entry_object(bench);
+    entry.set("untraced_instr_per_sec", Json::Num(baseline_ips));
+    entry.set("noop_trace_instr_per_sec", Json::Num(noop_ips));
+    entry.set("sampled_trace_instr_per_sec", Json::Num(sampled_ips));
+    entry.set("noop_trace_overhead_pct", Json::Num(overhead_pct));
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] hot_loop/{bench} tracing: untraced {baseline_ips:.2e} i/s, \
+             no-op {noop_ips:.2e} i/s ({overhead_pct:+.2}%), sampled {sampled_ips:.2e} i/s -> {}",
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// One pipeline phase's share of a traced compile, for the `phases`
+/// object of `BENCH_vm.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseStat {
+    /// Wall-clock seconds summed over the phase's spans.
+    pub wall_seconds: f64,
+    /// Number of spans recorded for the phase.
+    pub spans: u64,
+}
+
+/// Merge a per-phase wall-clock breakdown (from a traced compile) into
+/// `BENCH_vm.json` under `phases.<source>`. Call only under `--json`.
+pub fn record_phases(source: &str, phases: &[(String, PhaseStat)]) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let mut entry = Json::object();
+    for (name, stat) in phases {
+        let mut o = Json::object();
+        o.set("wall_seconds", Json::Num(stat.wall_seconds));
+        o.set("spans", Json::Num(stat.spans as f64));
+        entry.set(name, o);
+    }
+    root.entry_object("phases").set(source, entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] phases/{source}: {} phase(s) -> {}",
+            phases.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// The batch load-generator's measurements for the trajectory file.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchStats {
@@ -464,18 +535,29 @@ pub fn record_batch(stats: BatchStats) {
     entry.set("seq_seconds", Json::Num(stats.seq_seconds));
     entry.set("par_seconds", Json::Num(stats.par_seconds));
     entry.set("speedup", Json::Num(speedup));
+    // On a single-core host the "parallel" run pays pool overhead with
+    // nothing to parallelize; flag the reading so the trajectory isn't
+    // misread as a parallel-scaling regression.
+    let single_core = stats.workers <= 1;
+    if single_core {
+        entry.set("speedup_note", Json::Str("single-core".to_string()));
+    }
     entry.set("rerun_hit_rate", Json::Num(stats.rerun_hit_rate));
     entry.set("degraded", Json::Num(stats.degraded as f64));
     entry.set("failed", Json::Num(stats.failed as f64));
     root.set("batch", entry);
+    let speedup_text = if single_core {
+        "single-core, speedup n/a".to_string()
+    } else {
+        format!("{speedup:.2}x on {} workers", stats.workers)
+    };
     match root.save(path) {
         Ok(()) => eprintln!(
-            "[json] batch: {} jobs, seq {:.2}s, par {:.2}s ({speedup:.2}x on {} workers), \
+            "[json] batch: {} jobs, seq {:.2}s, par {:.2}s ({speedup_text}), \
              rerun hit rate {:.0}% -> {}",
             stats.jobs,
             stats.seq_seconds,
             stats.par_seconds,
-            stats.workers,
             100.0 * stats.rerun_hit_rate,
             path.display()
         ),

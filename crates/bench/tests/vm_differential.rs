@@ -197,3 +197,63 @@ fn full_suite_sampling_only() {
         check(w.name, "sampling", &w.program, &VmOptions::sampling_only());
     }
 }
+
+// ---------------------------------------------------------------------
+// Nightly promotions: the two headline workloads (181.mcf, 179.art) at
+// full Training size, run on a schedule by `.github/workflows/
+// nightly.yml`. Each writes a sampled Chrome trace of the decoded run
+// to `target/nightly-traces/` *before* asserting, so a differential
+// failure always leaves a trace artifact for the CI job to upload.
+// ---------------------------------------------------------------------
+
+/// Full differential sweep for one workload, with a trace artifact.
+fn nightly_check(name: &str, prog: &Program) {
+    // 1. traced decoded run → artifact on disk first.
+    let rec = slo_obs::Recorder::with_capacity(1 << 14);
+    let topts = slo_vm::VmOptions::builder()
+        .trace(rec.clone())
+        .trace_step_interval(1 << 20)
+        .build();
+    let mut span = rec.span("vm", name.to_string());
+    let traced = run(prog, &topts).unwrap_or_else(|e| panic!("{name} traced: {e}"));
+    span.arg("instructions", traced.stats.instructions);
+    drop(span);
+
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // repo root
+    dir.push("target/nightly-traces");
+    std::fs::create_dir_all(&dir).expect("create target/nightly-traces");
+    let out = dir.join(format!("{name}.json"));
+    std::fs::write(&out, rec.to_chrome_json()).expect("write nightly trace");
+    eprintln!("nightly trace: {}", out.display());
+
+    // 2. the full differential sweep, every instrumentation mode.
+    check(name, "plain", prog, &VmOptions::plain());
+    check(name, "profiling", prog, &VmOptions::profiling());
+    check(name, "sampling", prog, &VmOptions::sampling_only());
+
+    // 3. sampled tracing itself must not perturb the observables.
+    let plain = run(prog, &VmOptions::plain()).unwrap_or_else(|e| panic!("{name} plain: {e}"));
+    assert_eq!(traced.exit, plain.exit, "{name}: tracing changed the exit");
+    assert_eq!(
+        traced.stats.instructions, plain.stats.instructions,
+        "{name}: tracing changed the instruction count"
+    );
+    assert_eq!(
+        traced.stats.cycles, plain.stats.cycles,
+        "{name}: tracing changed the cycle count"
+    );
+}
+
+#[test]
+#[ignore = "full Training-size 181.mcf, minutes of CPU; nightly CI runs it"]
+fn nightly_full_mcf() {
+    nightly_check("181.mcf", &slo_workloads::mcf::build(InputSet::Training));
+}
+
+#[test]
+#[ignore = "full Training-size 179.art, minutes of CPU; nightly CI runs it"]
+fn nightly_full_art() {
+    nightly_check("179.art", &slo_workloads::art::build(InputSet::Training));
+}

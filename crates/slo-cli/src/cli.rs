@@ -20,7 +20,8 @@
 //! on the fly).
 
 use slo::analysis::{analyze_program, LegalityConfig, WeightScheme};
-use slo::pipeline::{compile, evaluate, PipelineConfig};
+use slo::obs::Recorder;
+use slo::pipeline::{compile_with, evaluate, PipelineConfig};
 use slo::vm::{Feedback, VmOptions};
 use slo::SloError;
 use slo_ir::parser::parse;
@@ -39,15 +40,20 @@ commands:
   advise <file.sir> [--scheme S] [--profile [file]]
                                          annotated type layouts + advice
   optimize <file.sir> [-o out.sir] [--scheme S] [--profile [file]] [--measure]
-                                         run the FE/IPA/BE pipeline
+           [--trace-json t.json]         run the FE/IPA/BE pipeline
+                                         (alias: compile)
   profile <file.sir> [-o out.prof]       collect an edge/d-cache profile
   vcg <file.sir> <record>                VCG affinity graph for one type
   print <file.sir>                       parse, verify and pretty-print IR
   batch <manifest> [--workers N] [--cache N] [--json] [--strict]
-                                         run a job manifest through the
+        [--trace-json t.json]            run a job manifest through the
                                          batch service
   serve [--workers N] [--cache N]        read job lines from stdin, print
-                                         one outcome per line
+                                         one outcome per line (`metrics`
+                                         dumps JSON, `metrics prom` the
+                                         Prometheus exposition)
+  trace-check <trace.json>               validate a Chrome trace against
+                                         the golden schema
   help                                   this text
 
 schemes: spbo | ispbo (default) | ispbo.no | ispbo.w | pbo
@@ -63,12 +69,13 @@ pub fn dispatch(args: &[String]) -> Result<String> {
         "run" => cmd_run(rest),
         "analyze" => cmd_analyze(rest),
         "advise" => cmd_advise(rest),
-        "optimize" => cmd_optimize(rest),
+        "optimize" | "compile" => cmd_optimize(rest),
         "profile" => cmd_profile(rest),
         "vcg" => cmd_vcg(rest),
         "print" => cmd_print(rest),
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
+        "trace-check" => cmd_trace_check(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(SloError::Usage(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -141,6 +148,10 @@ fn load_program(path: &str) -> Result<Program> {
 /// owned feedback the scheme borrows from. The feedback must outlive the
 /// scheme, hence the slightly awkward split.
 fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
+    collect_feedback_with(prog, opts, &Recorder::disabled())
+}
+
+fn collect_feedback_with(prog: &Program, opts: &Opts, rec: &Recorder) -> Result<Option<Feedback>> {
     if !opts.has("profile") {
         // `--scheme pbo` without --profile is rejected later by
         // `scheme_for`; profiles are only collected/loaded on request
@@ -154,8 +165,30 @@ fn collect_feedback(prog: &Program, opts: &Opts) -> Result<Option<Feedback>> {
         return Ok(Some(fb));
     }
     // collect on the fly
-    let fb = slo::collect_profile(prog)?;
+    let fb = slo::collect_profile_with(prog, rec)?;
     Ok(Some(fb))
+}
+
+/// The recorder for a command honouring `--trace-json <path>`: enabled
+/// exactly when a trace is requested, so the untraced path keeps the
+/// no-op recorder.
+fn trace_recorder(opts: &Opts) -> Result<(Recorder, Option<String>)> {
+    match opts.flag("trace-json") {
+        None => Ok((Recorder::disabled(), None)),
+        Some((_, None)) => Err(SloError::Usage("--trace-json needs an output path".into())),
+        Some((_, Some(path))) => Ok((Recorder::enabled(), Some(path.clone()))),
+    }
+}
+
+/// Write the recorded trace as Chrome `trace_event` JSON. Intentionally
+/// silent on stdout: command output stays bit-identical with tracing on
+/// or off.
+fn write_trace(rec: &Recorder, path: Option<&str>) -> Result<()> {
+    if let Some(path) = path {
+        std::fs::write(path, rec.to_chrome_json())
+            .map_err(|e| SloError::Io(format!("cannot write trace `{path}`: {e}")))?;
+    }
+    Ok(())
 }
 
 fn scheme_for<'a>(opts: &Opts, feedback: Option<&'a Feedback>) -> Result<WeightScheme<'a>> {
@@ -318,10 +351,14 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
             "optimize: expected exactly one input file".into(),
         ));
     };
-    let prog = load_program(path)?;
-    let feedback = collect_feedback(&prog, &opts)?;
+    let (rec, trace_path) = trace_recorder(&opts)?;
+    let prog = {
+        let _s = rec.span("pipeline", "parse");
+        load_program(path)?
+    };
+    let feedback = collect_feedback_with(&prog, &opts, &rec)?;
     let scheme = scheme_for(&opts, feedback.as_ref())?;
-    let res = compile(&prog, &scheme, &PipelineConfig::default())?;
+    let res = compile_with(&prog, &scheme, &PipelineConfig::default(), &rec)?;
 
     let mut s = String::new();
     let _ = writeln!(
@@ -347,7 +384,8 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
     }
 
     if opts.has("measure") {
-        let eval = evaluate(&prog, &res.program, &VmOptions::default())?;
+        let vm_opts = VmOptions::builder().trace(rec.clone()).build();
+        let eval = evaluate(&prog, &res.program, &vm_opts)?;
         let _ = writeln!(
             s,
             "cycles {} -> {} ({:+.1}%)",
@@ -356,7 +394,28 @@ fn cmd_optimize(args: &[String]) -> Result<String> {
             eval.speedup_percent()
         );
     }
+    write_trace(&rec, trace_path.as_deref())?;
     Ok(s)
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<String> {
+    let opts = parse_opts(args);
+    let [path] = &opts.positional[..] else {
+        return Err(SloError::Usage(
+            "trace-check: expected exactly one trace file".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SloError::Io(format!("cannot read `{path}`: {e}")))?;
+    let summary = slo::obs::conform::check_chrome_trace(&text)
+        .map_err(|e| SloError::Parse(format!("{path}: {e}")))?;
+    Ok(format!(
+        "{path}: OK — {} event(s), {} span(s), {} dropped; names: {}\n",
+        summary.events,
+        summary.spans,
+        summary.dropped,
+        summary.names.join(", ")
+    ))
 }
 
 fn cmd_profile(args: &[String]) -> Result<String> {
@@ -459,14 +518,17 @@ fn cmd_batch(args: &[String]) -> Result<String> {
     };
     let workers = flag_count(&opts, "workers", 0)?;
     let cache = flag_count(&opts, "cache", 256)?;
+    let (rec, trace_path) = trace_recorder(&opts)?;
     let jobs = slo_service::load_manifest(std::path::Path::new(manifest))?;
-    let service = Service::new(
+    let service = Service::with_trace(
         ServiceConfig::builder()
             .workers(workers)
             .cache_capacity(cache)
             .build(),
+        rec.clone(),
     );
     let outcomes = service.run_batch(&jobs);
+    write_trace(&rec, trace_path.as_deref())?;
 
     let mut s = String::new();
     for o in &outcomes {
@@ -524,6 +586,7 @@ fn cmd_serve(args: &[String]) -> Result<String> {
         match trimmed {
             "quit" | "exit" => break,
             "metrics" => println!("{}", service.metrics().to_json()),
+            "metrics prom" => print!("{}", service.metrics().to_prometheus()),
             _ => match slo_service::parse_job_line(&dir, trimmed) {
                 Ok(jobs) => {
                     for o in service.run_batch(&jobs) {

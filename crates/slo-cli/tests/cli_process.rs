@@ -195,3 +195,140 @@ fn serve_processes_jobs_from_stdin() {
     );
     assert!(text.contains("served 2 job(s)"));
 }
+
+/// A malformed manifest line mid-stream must degrade to an `error:`
+/// reply without killing the serve loop: jobs after it still run.
+#[test]
+fn serve_survives_malformed_manifest_lines_mid_stream() {
+    use std::io::Write as _;
+    let mut child = slo()
+        .args(["serve"])
+        .current_dir(smoke_manifest().parent().expect("dir"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(
+            b"../ir/hotcold.sir scheme=ispbo\n\
+              /nonexistent-program.sir scheme=ispbo\n\
+              ../ir/hotcold.sir scheme=bogus-scheme\n\
+              ../ir/hotcold.sir repeat=zero\n\
+              ../ir/hotcold.sir scheme=ispbo\n\
+              quit\n",
+        )
+        .expect("write jobs");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success(), "malformed lines must not kill serve");
+    let text = String::from_utf8_lossy(&out.stdout);
+    let errors = text.lines().filter(|l| l.starts_with("error: ")).count();
+    assert_eq!(errors, 3, "each bad line answers with one error:\n{text}");
+    assert!(
+        text.contains("served 2 job(s)"),
+        "both good jobs (before and after the bad lines) ran:\n{text}"
+    );
+    assert!(
+        text.contains("[cached]"),
+        "the second good job still hits the cache:\n{text}"
+    );
+}
+
+/// `--trace-json` writes a Chrome trace that the binary's own
+/// conformance checker accepts, with every pipeline phase present —
+/// and tracing does not change the compiled output.
+#[test]
+fn traced_compile_passes_trace_check_and_output_is_unchanged() {
+    // Same output filename in two directories, so the `wrote ...` line
+    // (and with it the whole stdout) is comparable byte-for-byte.
+    let pid = std::process::id();
+    let dir_plain = std::env::temp_dir().join(format!("slo-e2e-plain-{pid}"));
+    let dir_traced = std::env::temp_dir().join(format!("slo-e2e-traced-{pid}"));
+    std::fs::create_dir_all(&dir_plain).expect("mkdir");
+    std::fs::create_dir_all(&dir_traced).expect("mkdir");
+    let out_plain = dir_plain.join("out.sir");
+    let out_traced = dir_traced.join("out.sir");
+    let trace = std::env::temp_dir().join(format!("slo-e2e-trace-{pid}.json"));
+
+    let plain = slo()
+        .args(["optimize"])
+        .arg(sample())
+        .args(["-o", "out.sir"])
+        .current_dir(&dir_plain)
+        .output()
+        .expect("spawn slo");
+    assert!(plain.status.success());
+
+    let traced = slo()
+        .args(["compile"]) // the optimize alias
+        .arg(sample())
+        .args(["-o", "out.sir"])
+        .arg("--trace-json")
+        .arg(&trace)
+        .current_dir(&dir_traced)
+        .output()
+        .expect("spawn slo");
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&out_plain).expect("plain output"),
+        std::fs::read(&out_traced).expect("traced output"),
+        "tracing changed the compiled program"
+    );
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "tracing changed the human-readable report"
+    );
+
+    let check = slo()
+        .args(["trace-check"])
+        .arg(&trace)
+        .output()
+        .expect("spawn slo trace-check");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let text = String::from_utf8_lossy(&check.stdout);
+    assert!(text.contains("OK"), "{text}");
+    for phase in [
+        "parse",
+        "legality",
+        "escape",
+        "profile",
+        "plan",
+        "transform",
+        "verify",
+        "compile",
+    ] {
+        assert!(text.contains(phase), "missing `{phase}` span: {text}");
+    }
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(&dir_plain);
+    let _ = std::fs::remove_dir_all(&dir_traced);
+}
+
+/// `trace-check` rejects a file that is not a conformant trace.
+#[test]
+fn trace_check_rejects_garbage() {
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("slo-e2e-badtrace-{}.json", std::process::id()));
+    std::fs::write(&bad, "{\"traceEvents\": 42}").expect("write temp");
+    let out = slo()
+        .args(["trace-check"])
+        .arg(&bad)
+        .output()
+        .expect("spawn slo");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "non-conformant trace is a parse error"
+    );
+    let _ = std::fs::remove_file(&bad);
+}

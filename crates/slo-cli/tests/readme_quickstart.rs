@@ -117,3 +117,74 @@ fn readme_quickstart_snippet_runs_verbatim() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The fenced console block of a named README section, as `slo`
+/// argument vectors.
+fn section_commands(text: &str, heading: &str) -> Vec<Vec<String>> {
+    let section = text
+        .split(heading)
+        .nth(1)
+        .unwrap_or_else(|| panic!("README has a {heading} section"));
+    let section = section.split("\n## ").next().unwrap();
+    section
+        .lines()
+        .filter_map(|l| l.strip_prefix("$ slo "))
+        .map(|l| l.split_whitespace().map(str::to_owned).collect())
+        .collect()
+}
+
+/// Keeps `## Observability` honest the same way: the traced compile
+/// and the trace-check run exactly as printed, and the checker accepts
+/// the trace with every pipeline phase span present.
+#[test]
+fn readme_observability_snippet_runs_verbatim() {
+    let text = readme();
+    let commands = section_commands(&text, "## Observability");
+    assert_eq!(
+        commands.len(),
+        2,
+        "the Observability section shows two slo commands"
+    );
+    assert!(commands[0].contains(&"--trace-json".to_string()));
+    assert_eq!(commands[1][0], "trace-check");
+
+    // The snippet operates on the Quickstart's hotcold.sir.
+    let ir = quickstart_blocks(&text)
+        .into_iter()
+        .next()
+        .expect("quickstart IR block");
+    let dir = std::env::temp_dir().join(format!("slo-readme-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("hotcold.sir"), ir).unwrap();
+
+    let mut outputs = Vec::new();
+    for cmd in &commands {
+        let args: Vec<&str> = cmd.iter().map(String::as_str).collect();
+        outputs.push(run_slo(&args, &dir));
+    }
+
+    assert!(
+        std::fs::read_to_string(dir.join("hotcold.opt.sir"))
+            .unwrap()
+            .contains("item_cold"),
+        "traced compile must still split"
+    );
+    let check = &outputs[1];
+    assert!(
+        check.contains("OK"),
+        "trace-check rejected the trace:\n{check}"
+    );
+    for phase in [
+        "parse",
+        "legality",
+        "escape",
+        "profile",
+        "plan",
+        "transform",
+        "verify",
+        "compile",
+    ] {
+        assert!(check.contains(phase), "missing `{phase}` span:\n{check}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

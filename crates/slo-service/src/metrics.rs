@@ -16,6 +16,10 @@ pub struct ServiceMetrics {
     pub(crate) jobs: AtomicU64,
     pub(crate) optimized: AtomicU64,
     pub(crate) degraded: AtomicU64,
+    pub(crate) degraded_transform: AtomicU64,
+    pub(crate) degraded_verification: AtomicU64,
+    pub(crate) degraded_budget: AtomicU64,
+    pub(crate) degraded_panic: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) panics: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
@@ -40,6 +44,10 @@ impl ServiceMetrics {
             jobs: ld(&self.jobs),
             optimized: ld(&self.optimized),
             degraded: ld(&self.degraded),
+            degraded_transform: ld(&self.degraded_transform),
+            degraded_verification: ld(&self.degraded_verification),
+            degraded_budget: ld(&self.degraded_budget),
+            degraded_panic: ld(&self.degraded_panic),
             failed: ld(&self.failed),
             panics: ld(&self.panics),
             cache_hits: ld(&self.cache_hits),
@@ -63,6 +71,14 @@ pub struct MetricsSnapshot {
     pub optimized: u64,
     /// Jobs downgraded to advisory-only output.
     pub degraded: u64,
+    /// Degradations attributed to a BE rewrite failure.
+    pub degraded_transform: u64,
+    /// Degradations attributed to a differential-verification mismatch.
+    pub degraded_verification: u64,
+    /// Degradations attributed to an exhausted wall/step budget.
+    pub degraded_budget: u64,
+    /// Degradations attributed to a caught panic.
+    pub degraded_panic: u64,
     /// Jobs that failed outright (unparseable input).
     pub failed: u64,
     /// Panics caught and contained (a subset of `degraded`).
@@ -102,6 +118,10 @@ impl MetricsSnapshot {
             jobs: self.jobs - earlier.jobs,
             optimized: self.optimized - earlier.optimized,
             degraded: self.degraded - earlier.degraded,
+            degraded_transform: self.degraded_transform - earlier.degraded_transform,
+            degraded_verification: self.degraded_verification - earlier.degraded_verification,
+            degraded_budget: self.degraded_budget - earlier.degraded_budget,
+            degraded_panic: self.degraded_panic - earlier.degraded_panic,
             failed: self.failed - earlier.failed,
             panics: self.panics - earlier.panics,
             cache_hits: self.cache_hits - earlier.cache_hits,
@@ -137,6 +157,14 @@ impl MetricsSnapshot {
         num("jobs", self.jobs as f64, &mut s);
         num("optimized", self.optimized as f64, &mut s);
         num("degraded", self.degraded as f64, &mut s);
+        num("degraded_transform", self.degraded_transform as f64, &mut s);
+        num(
+            "degraded_verification",
+            self.degraded_verification as f64,
+            &mut s,
+        );
+        num("degraded_budget", self.degraded_budget as f64, &mut s);
+        num("degraded_panic", self.degraded_panic as f64, &mut s);
         num("failed", self.failed as f64, &mut s);
         num("panics", self.panics as f64, &mut s);
         num("cache_hits", self.cache_hits as f64, &mut s);
@@ -149,6 +177,71 @@ impl MetricsSnapshot {
         num("be_ns", self.be_ns as f64, &mut s);
         num("exec_ns", self.exec_ns as f64, &mut s);
         s.push('}');
+        s
+    }
+
+    /// The snapshot in the Prometheus text exposition format (served by
+    /// `slo serve`'s `metrics prom` command; validated line-by-line by
+    /// `slo_obs::conform::check_prometheus`).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let _ = write!(
+            s,
+            "# HELP slo_jobs_total Jobs completed (any status).\n\
+             # TYPE slo_jobs_total counter\n\
+             slo_jobs_total {}\n\
+             # HELP slo_jobs_by_status_total Jobs by final status.\n\
+             # TYPE slo_jobs_by_status_total counter\n\
+             slo_jobs_by_status_total{{status=\"optimized\"}} {}\n\
+             slo_jobs_by_status_total{{status=\"advisory\"}} {}\n\
+             slo_jobs_by_status_total{{status=\"failed\"}} {}\n\
+             # HELP slo_jobs_degraded_total Advisory downgrades by reason.\n\
+             # TYPE slo_jobs_degraded_total counter\n\
+             slo_jobs_degraded_total{{reason=\"transform\"}} {}\n\
+             slo_jobs_degraded_total{{reason=\"verification\"}} {}\n\
+             slo_jobs_degraded_total{{reason=\"budget\"}} {}\n\
+             slo_jobs_degraded_total{{reason=\"panic\"}} {}\n\
+             # HELP slo_panics_total Panics caught and contained.\n\
+             # TYPE slo_panics_total counter\n\
+             slo_panics_total {}\n",
+            self.jobs,
+            self.optimized,
+            self.degraded,
+            self.failed,
+            self.degraded_transform,
+            self.degraded_verification,
+            self.degraded_budget,
+            self.degraded_panic,
+            self.panics,
+        );
+        let _ = write!(
+            s,
+            "# HELP slo_cache_events_total Analysis-cache events.\n\
+             # TYPE slo_cache_events_total counter\n\
+             slo_cache_events_total{{event=\"hit\"}} {}\n\
+             slo_cache_events_total{{event=\"miss\"}} {}\n\
+             slo_cache_events_total{{event=\"eviction\"}} {}\n\
+             # HELP slo_cache_hit_rate Analysis-cache hit rate in [0, 1].\n\
+             # TYPE slo_cache_hit_rate gauge\n\
+             slo_cache_hit_rate {}\n\
+             # HELP slo_phase_seconds_total Cumulative wall time per phase.\n\
+             # TYPE slo_phase_seconds_total counter\n\
+             slo_phase_seconds_total{{phase=\"queue_wait\"}} {}\n\
+             slo_phase_seconds_total{{phase=\"fe\"}} {}\n\
+             slo_phase_seconds_total{{phase=\"ipa\"}} {}\n\
+             slo_phase_seconds_total{{phase=\"be\"}} {}\n\
+             slo_phase_seconds_total{{phase=\"exec\"}} {}\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_hit_rate(),
+            secs(self.queue_wait_ns),
+            secs(self.fe_ns),
+            secs(self.ipa_ns),
+            secs(self.be_ns),
+            secs(self.exec_ns),
+        );
         s
     }
 }
@@ -183,6 +276,37 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.jobs, 54);
         assert_eq!(d.cache_hits, 56);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_conformant() {
+        let m = MetricsSnapshot {
+            jobs: 5,
+            optimized: 3,
+            degraded: 2,
+            degraded_budget: 1,
+            degraded_panic: 1,
+            panics: 1,
+            cache_hits: 2,
+            cache_misses: 2,
+            fe_ns: 1_500_000,
+            ..Default::default()
+        };
+        let text = m.to_prometheus();
+        let s = slo_obs::conform::check_prometheus(&text).expect("valid exposition");
+        for family in [
+            "slo_jobs_total",
+            "slo_jobs_by_status_total",
+            "slo_jobs_degraded_total",
+            "slo_panics_total",
+            "slo_cache_events_total",
+            "slo_cache_hit_rate",
+            "slo_phase_seconds_total",
+        ] {
+            assert!(s.has(family), "missing family {family}");
+        }
+        assert!(text.contains("slo_jobs_degraded_total{reason=\"budget\"} 1"));
+        assert!(text.contains("slo_cache_hit_rate 0.5"));
     }
 
     #[test]

@@ -87,21 +87,36 @@ pub struct Service {
     cfg: ServiceConfig,
     cache: Mutex<AnalysisCache>,
     metrics: ServiceMetrics,
+    trace: slo_obs::Recorder,
 }
 
 impl Service {
     /// A service with the given configuration.
     pub fn new(cfg: ServiceConfig) -> Service {
+        Service::with_trace(cfg, slo_obs::Recorder::disabled())
+    }
+
+    /// A service that records a `job:<id>` span per job (plus the
+    /// pipeline phase and VM spans underneath) into `trace`.
+    /// `ServiceConfig` stays `Copy`, so the recorder rides separately.
+    pub fn with_trace(cfg: ServiceConfig, trace: slo_obs::Recorder) -> Service {
         Service {
             cache: Mutex::new(AnalysisCache::new(cfg.cache_capacity)),
             metrics: ServiceMetrics::default(),
             cfg,
+            trace,
         }
     }
 
     /// The configuration this service was built with.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// The trace recorder jobs report into (disabled unless the service
+    /// was built with [`Service::with_trace`]).
+    pub fn trace(&self) -> &slo_obs::Recorder {
+        &self.trace
     }
 
     /// A point-in-time copy of the service counters.
@@ -121,6 +136,17 @@ impl Service {
     /// job entered the queue; the gap to pickup is reported as queue
     /// wait.
     pub fn run_job(&self, job: &Job, submitted: Instant) -> JobOutcome {
+        let mut span = self.trace.span("service", format!("job:{}", job.id));
+        let outcome = self.run_job_inner(job, submitted);
+        span.arg("status", outcome.status.kind());
+        if let JobStatus::Advisory { reason, .. } = &outcome.status {
+            span.arg("reason", reason.kind());
+        }
+        span.arg("cache_hit", outcome.metrics.cache_hit);
+        outcome
+    }
+
+    fn run_job_inner(&self, job: &Job, submitted: Instant) -> JobOutcome {
         let start = Instant::now();
         let mut jm = JobMetrics {
             queue_wait: start.duration_since(submitted),
@@ -164,6 +190,7 @@ impl Service {
     }
 
     fn load_input(&self, input: &JobInput) -> Result<Program, String> {
+        let _s = self.trace.span("pipeline", "parse");
         let prog = match input {
             JobInput::Program(p) => p.clone(),
             JobInput::Source(src) => {
@@ -197,9 +224,14 @@ impl Service {
                     .collect_edges(true)
                     .sample_dcache(true)
                     .step_limit(job.budget.steps)
+                    .trace(self.trace.clone())
                     .build();
                 let t = Instant::now();
-                let run = slo_vm::run(prog, &opts);
+                let run = {
+                    let mut s = self.trace.span("pipeline", "profile");
+                    s.arg("instrumented", true);
+                    slo_vm::run(prog, &opts)
+                };
                 jm.borrow_mut().exec += t.elapsed();
                 match run {
                     Ok(out) => Some(out.feedback),
@@ -241,12 +273,17 @@ impl Service {
         let analysis = match cached {
             Some(a) => {
                 self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.trace.instant(
+                    "service",
+                    "cache-hit",
+                    vec![("job", job.id.as_str().into())],
+                );
                 jm.borrow_mut().cache_hit = true;
                 a
             }
             None => {
                 self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let a = Arc::new(slo::analyze(prog, &scheme, &job.config));
+                let a = Arc::new(slo::analyze_with(prog, &scheme, &job.config, &self.trace));
                 {
                     let mut m = jm.borrow_mut();
                     m.fe = a.fe;
@@ -273,7 +310,7 @@ impl Service {
 
         // --- BE ------------------------------------------------------
         let t = Instant::now();
-        let compiled = slo::apply(prog, &analysis);
+        let compiled = slo::apply_with(prog, &analysis, &self.trace);
         jm.borrow_mut().be = t.elapsed();
         let res = match compiled {
             Ok(res) => res,
@@ -286,7 +323,10 @@ impl Service {
         };
 
         // --- differential verification + evaluation ------------------
-        let opts = VmOptions::builder().step_limit(job.budget.steps).build();
+        let opts = VmOptions::builder()
+            .step_limit(job.budget.steps)
+            .trace(self.trace.clone())
+            .build();
         let degrade = |reason: Degradation| JobStatus::Advisory {
             reason,
             report: Some(advisory_report(prog, &analysis)),
@@ -355,6 +395,15 @@ impl Service {
             JobStatus::Failed(_) => &self.metrics.failed,
         };
         slot.fetch_add(1, Ordering::Relaxed);
+        if let JobStatus::Advisory { reason, .. } = &status {
+            let slot = match reason {
+                Degradation::Transform(_) => &self.metrics.degraded_transform,
+                Degradation::Verification(_) => &self.metrics.degraded_verification,
+                Degradation::Budget(_) => &self.metrics.degraded_budget,
+                Degradation::Panic(_) => &self.metrics.degraded_panic,
+            };
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
         ServiceMetrics::add_duration(&self.metrics.queue_wait_ns, jm.queue_wait);
         ServiceMetrics::add_duration(&self.metrics.fe_ns, jm.fe);
         ServiceMetrics::add_duration(&self.metrics.ipa_ns, jm.ipa);
@@ -375,7 +424,6 @@ impl Service {
     }
 }
 
-/// `Some(Degradation::Budget)` once `deadline` has passed.
 thread_local! {
     // Set while a job body runs under `catch_unwind`, so the process
     // panic hook stays silent for panics the service absorbs.
@@ -404,6 +452,7 @@ fn quiet_catch_unwind<R>(
     result
 }
 
+/// `Some(Degradation::Budget)` once `deadline` has passed.
 fn over_deadline(deadline: Option<Instant>) -> Option<Degradation> {
     match deadline {
         Some(d) if Instant::now() > d => {

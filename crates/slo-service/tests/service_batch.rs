@@ -312,3 +312,84 @@ fn metrics_snapshot_exports_json() {
         assert!(json.contains(key), "missing {key} in {json}");
     }
 }
+
+/// LRU churn under 2 workers: distinct programs cycling through a
+/// 2-entry cache from two threads at once. The eviction counter must
+/// stay consistent with the hit/miss ledger — every lookup is exactly
+/// one hit or one miss, and evictions never exceed insertions.
+#[test]
+fn eviction_counters_stay_consistent_under_two_worker_churn() {
+    let svc = service(2, 2);
+    // 6 distinct programs × 4 submissions each, interleaved so the
+    // 2-entry LRU churns constantly.
+    let jobs: Vec<Job> = (0..24)
+        .map(|i| {
+            let n = 16 + 16 * (i % 6) as i64;
+            Job::from_program(format!("churn{i}"), slo_workloads::kernel::build(n, 100))
+        })
+        .collect();
+    let outcomes = svc.run_batch(&jobs);
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o.status, JobStatus::Optimized(_))));
+
+    let m = svc.metrics();
+    assert_eq!(
+        m.cache_hits + m.cache_misses,
+        24,
+        "every job is exactly one hit or one miss"
+    );
+    assert!(
+        m.cache_misses >= 6,
+        "6 distinct programs cannot all be cache-resident on first sight"
+    );
+    assert!(
+        m.cache_evictions >= m.cache_misses.saturating_sub(2),
+        "a 2-entry cache evicts on (almost) every insertion"
+    );
+    assert!(
+        m.cache_evictions <= m.cache_misses,
+        "cannot evict more entries than were ever inserted"
+    );
+}
+
+/// `repeat=` in the serve/manifest wire format expands to N identical
+/// jobs; all copies (and a later re-submission of the same line) must
+/// produce the same IPA fingerprint, with only the first copy missing
+/// the cache.
+#[test]
+fn repeat_jobs_rerun_with_identical_fingerprints() {
+    let dir = std::env::temp_dir().join(format!("slo-repeat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("sample.sir"), SAMPLE).expect("write sample");
+
+    let jobs = slo_service::parse_job_line(&dir, "sample.sir scheme=ispbo repeat=4")
+        .expect("parse job line");
+    assert_eq!(jobs.len(), 4, "repeat=4 expands to four jobs");
+
+    let svc = service(2, 64);
+    let first = svc.run_batch(&jobs);
+    let fps: Vec<u64> = first
+        .iter()
+        .map(|o| expect_optimized(o).ipa_fingerprint)
+        .collect();
+    assert!(
+        fps.windows(2).all(|w| w[0] == w[1]),
+        "copies of one job must share a fingerprint: {fps:x?}"
+    );
+    let m = svc.metrics();
+    assert_eq!(m.cache_misses, 1, "only the first copy analyzes");
+    assert_eq!(m.cache_hits, 3);
+
+    // Re-submitting the same line later reproduces the fingerprint.
+    let again = svc.run_batch(&jobs);
+    for (a, b) in first.iter().zip(&again) {
+        assert_eq!(
+            expect_optimized(a).ipa_fingerprint,
+            expect_optimized(b).ipa_fingerprint,
+            "rerun changed the fingerprint"
+        );
+        assert_eq!(digest(a), digest(b), "rerun changed the outcome");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

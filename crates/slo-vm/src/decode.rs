@@ -687,9 +687,14 @@ pub fn run_func_decoded(
     args: &[Value],
     opts: &VmOptions,
 ) -> Result<ExecOutcome, ExecError> {
+    let trace = opts.trace.clone();
+    let mut span = trace.span("vm", "vm.run");
+    span.arg("engine", "decoded");
     let mut vm = DecVm::new(prog, dec, opts.clone());
     let exit = vm.call(entry, args)?;
     let (stats, feedback) = vm.into_parts();
+    span.arg("instructions", stats.instructions);
+    span.arg("cycles", stats.cycles);
     Ok(ExecOutcome {
         exit,
         stats,
@@ -972,6 +977,16 @@ impl<'p> DecVm<'p> {
         let dec: &'p DecodedProgram = self.dec;
         let base_cost = self.opts.cost.base;
         let step_limit = self.opts.step_limit;
+        // Sampled tracing: with the recorder disabled the sentinel is
+        // u64::MAX and the per-instruction cost is one compare that
+        // never fires (step_limit aborts the run long before).
+        let trace = self.opts.trace.clone();
+        let trace_interval = self.opts.trace_step_interval.max(1);
+        let mut next_trace = if trace.is_enabled() {
+            trace_interval
+        } else {
+            u64::MAX
+        };
 
         'outer: while let Some(frame) = stack.last_mut() {
             let fid = frame.fid;
@@ -991,6 +1006,11 @@ impl<'p> DecVm<'p> {
                 }
                 self.stats.instructions += 1;
                 self.stats.cycles += base_cost;
+                if self.stats.instructions == next_trace {
+                    trace.counter("vm", "vm.instructions", self.stats.instructions as f64);
+                    trace.counter("vm", "vm.cycles", self.stats.cycles as f64);
+                    next_trace = next_trace.saturating_add(trace_interval);
+                }
                 frame.pc += 1;
 
                 match ins {

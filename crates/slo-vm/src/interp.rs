@@ -49,6 +49,15 @@ pub struct VmOptions {
     pub call_depth_limit: usize,
     /// Which execution engine to use.
     pub engine: Engine,
+    /// Trace recorder. The default (disabled) recorder is a no-op; an
+    /// enabled recorder gets a `vm.run` span per run plus sampled
+    /// instruction/cycle counters every [`trace_step_interval`] steps.
+    ///
+    /// [`trace_step_interval`]: VmOptions::trace_step_interval
+    pub trace: slo_obs::Recorder,
+    /// Steps between sampled counter events when `trace` is enabled —
+    /// sampling keeps a 100M-instruction traced run bounded.
+    pub trace_step_interval: u64,
 }
 
 impl Default for VmOptions {
@@ -62,6 +71,8 @@ impl Default for VmOptions {
             step_limit: 2_000_000_000,
             call_depth_limit: 10_000,
             engine: Engine::default(),
+            trace: slo_obs::Recorder::disabled(),
+            trace_step_interval: 1_000_000,
         }
     }
 }
@@ -159,6 +170,18 @@ impl VmOptionsBuilder {
     /// Select the execution engine.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.opts.engine = engine;
+        self
+    }
+
+    /// Attach a trace recorder (disabled recorders cost one branch).
+    pub fn trace(mut self, rec: slo_obs::Recorder) -> Self {
+        self.opts.trace = rec;
+        self
+    }
+
+    /// Steps between sampled counter events under an enabled recorder.
+    pub fn trace_step_interval(mut self, n: u64) -> Self {
+        self.opts.trace_step_interval = n.max(1);
         self
     }
 
@@ -277,9 +300,14 @@ pub fn run_func(
             crate::decode::run_func_decoded(prog, &dec, entry, args, opts)
         }
         Engine::Structured => {
+            let trace = opts.trace.clone();
+            let mut span = trace.span("vm", "vm.run");
+            span.arg("engine", "structured");
             let mut vm = Vm::new(prog, opts.clone());
             let exit = vm.call(entry, args)?;
             let (stats, feedback) = vm.into_parts();
+            span.arg("instructions", stats.instructions);
+            span.arg("cycles", stats.cycles);
             Ok(ExecOutcome {
                 exit,
                 stats,

@@ -59,9 +59,12 @@ pub mod pipeline;
 
 pub use error::SloError;
 pub use pipeline::{
-    analysis_cache_key, analyze, apply, collect_profile, compile, evaluate, Analysis,
-    CompileResult, Evaluation, PhaseTimings, PipelineConfig, PipelineConfigBuilder,
+    analysis_cache_key, analyze, analyze_with, apply, apply_with, collect_profile,
+    collect_profile_with, compile, compile_with, evaluate, Analysis, CompileResult, Evaluation,
+    PhaseTimings, PipelineConfig, PipelineConfigBuilder,
 };
+
+pub use slo_obs as obs;
 
 pub use slo_advisor as advisor;
 pub use slo_analysis as analysis;

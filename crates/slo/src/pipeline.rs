@@ -207,31 +207,63 @@ pub fn analysis_cache_key(prog: &Program, scheme: &WeightScheme<'_>, cfg: &Pipel
 /// Run the FE and IPA phases (legality, profitability, planning) over
 /// `prog` under `scheme` — everything up to but excluding the rewrite.
 pub fn analyze(prog: &Program, scheme: &WeightScheme<'_>, cfg: &PipelineConfig) -> Analysis {
-    // --- FE -----------------------------------------------------------
+    analyze_with(prog, scheme, cfg, &slo_obs::Recorder::disabled())
+}
+
+/// [`analyze`] with a trace recorder: one span per phase — `legality`
+/// (FE), then `escape` / `profile` / `plan` (IPA). The disabled
+/// recorder makes this identical to [`analyze`].
+pub fn analyze_with(
+    prog: &Program,
+    scheme: &WeightScheme<'_>,
+    cfg: &PipelineConfig,
+    rec: &slo_obs::Recorder,
+) -> Analysis {
+    // --- FE: per-unit legality tests + attribute collection -----------
     let t0 = Instant::now();
-    let summaries = analyze_all_units(prog);
-    let freqs = block_frequencies(prog, scheme);
+    let summaries = {
+        let _s = rec.span("pipeline", "legality");
+        analyze_all_units(prog)
+    };
     let fe = t0.elapsed();
 
     // --- IPA ----------------------------------------------------------
     let t1 = Instant::now();
-    let ipa = aggregate(prog, &summaries, &cfg.legality);
-    let graphs = build_affinity_graphs(prog, &freqs);
-    let counts = build_field_counts(prog, &freqs);
-    let heuristics = cfg.heuristics.unwrap_or_else(|| match scheme {
-        WeightScheme::Pbo(_) | WeightScheme::Ppbo(_) => HeuristicsConfig::pbo(),
-        _ => HeuristicsConfig::ispbo(),
-    });
-    let plan = decide(prog, &ipa, &graphs, &counts, &heuristics);
-    let dcache = if cfg.attribute_dcache {
-        match scheme {
-            WeightScheme::Pbo(fb) | WeightScheme::Ppbo(fb) => {
-                Some(slo_analysis::dcache::attribute_samples(prog, fb))
+    let ipa = {
+        let mut s = rec.span("pipeline", "escape");
+        let ipa = aggregate(prog, &summaries, &cfg.legality);
+        s.arg("records", prog.types.num_records());
+        ipa
+    };
+    // Profitability evidence: hotness under the chosen weighting
+    // scheme, affinity graphs, read/write counts, d-cache attribution.
+    let (graphs, counts, dcache) = {
+        let mut s = rec.span("pipeline", "profile");
+        s.arg("scheme", scheme.name());
+        let freqs = block_frequencies(prog, scheme);
+        let graphs = build_affinity_graphs(prog, &freqs);
+        let counts = build_field_counts(prog, &freqs);
+        let dcache = if cfg.attribute_dcache {
+            match scheme {
+                WeightScheme::Pbo(fb) | WeightScheme::Ppbo(fb) => {
+                    Some(slo_analysis::dcache::attribute_samples(prog, fb))
+                }
+                _ => None,
             }
-            _ => None,
-        }
-    } else {
-        None
+        } else {
+            None
+        };
+        (graphs, counts, dcache)
+    };
+    let plan = {
+        let mut s = rec.span("pipeline", "plan");
+        let heuristics = cfg.heuristics.unwrap_or_else(|| match scheme {
+            WeightScheme::Pbo(_) | WeightScheme::Ppbo(_) => HeuristicsConfig::pbo(),
+            _ => HeuristicsConfig::ispbo(),
+        });
+        let plan = decide(prog, &ipa, &graphs, &counts, &heuristics);
+        s.arg("transformed_types", plan.num_transformed());
+        plan
     };
     let ipa_time = t1.elapsed();
 
@@ -250,10 +282,40 @@ pub fn analyze(prog: &Program, scheme: &WeightScheme<'_>, cfg: &PipelineConfig) 
 ///
 /// # Errors
 ///
-/// Propagates BE rewrite failures as [`SloError::Transform`].
+/// Propagates BE rewrite failures as [`SloError::Transform`]; a
+/// transformed program that fails the IR verifier is reported as
+/// [`SloError::Legality`].
 pub fn apply(prog: &Program, analysis: &Analysis) -> Result<CompileResult, SloError> {
+    apply_with(prog, analysis, &slo_obs::Recorder::disabled())
+}
+
+/// [`apply`] with a trace recorder: `transform` and `verify` spans.
+///
+/// # Errors
+///
+/// See [`apply`].
+pub fn apply_with(
+    prog: &Program,
+    analysis: &Analysis,
+    rec: &slo_obs::Recorder,
+) -> Result<CompileResult, SloError> {
     let t2 = Instant::now();
-    let program = apply_plan(prog, &analysis.plan)?;
+    let program = {
+        let mut s = rec.span("pipeline", "transform");
+        let program = apply_plan(prog, &analysis.plan)?;
+        s.arg("transformed_types", analysis.plan.num_transformed());
+        program
+    };
+    {
+        let mut s = rec.span("pipeline", "verify");
+        let errors = slo_ir::verify::verify(&program);
+        s.arg("errors", errors.len());
+        if let Some(first) = errors.first() {
+            return Err(SloError::Legality(format!(
+                "transformed program failed verification: {first}"
+            )));
+        }
+    }
     let be = t2.elapsed();
     Ok(CompileResult {
         program,
@@ -283,6 +345,26 @@ pub fn compile(
     apply(prog, &analyze(prog, scheme, cfg))
 }
 
+/// [`compile`] with a trace recorder: the full FE → IPA → BE pipeline
+/// with one span per phase (`legality`, `escape`, `profile`, `plan`,
+/// `transform`, `verify`), all nested under a `compile` span. The
+/// `parse` and `profile`-collection spans are recorded by the callers
+/// that own those steps (CLI, service).
+///
+/// # Errors
+///
+/// See [`apply`].
+pub fn compile_with(
+    prog: &Program,
+    scheme: &WeightScheme<'_>,
+    cfg: &PipelineConfig,
+    rec: &slo_obs::Recorder,
+) -> Result<CompileResult, SloError> {
+    let mut span = rec.span("pipeline", "compile");
+    span.arg("scheme", scheme.name());
+    apply_with(prog, &analyze_with(prog, scheme, cfg, rec), rec)
+}
+
 /// The PBO collection phase: run the instrumented program on the training
 /// input (the program itself encodes its input; callers model training vs
 /// reference inputs by building different programs) and return the
@@ -294,6 +376,26 @@ pub fn compile(
 /// [`SloError::Budget`] on a step-limit abort).
 pub fn collect_profile(prog: &Program) -> Result<Feedback, SloError> {
     let out = slo_vm::run(prog, &slo_vm::VmOptions::profiling())?;
+    Ok(out.feedback)
+}
+
+/// [`collect_profile`] with a trace recorder: the instrumented training
+/// run appears as a `profile` span (with the VM's own `vm.run` span
+/// nested inside it).
+///
+/// # Errors
+///
+/// See [`collect_profile`].
+pub fn collect_profile_with(prog: &Program, rec: &slo_obs::Recorder) -> Result<Feedback, SloError> {
+    let mut span = rec.span("pipeline", "profile");
+    span.arg("instrumented", true);
+    let opts = slo_vm::VmOptions::builder()
+        .collect_edges(true)
+        .sample_dcache(true)
+        .trace(rec.clone())
+        .build();
+    let out = slo_vm::run(prog, &opts)?;
+    span.arg("instructions", out.stats.instructions);
     Ok(out.feedback)
 }
 
