@@ -1,0 +1,203 @@
+//! Chaos campaign driver: seeded fault-injection sweeps over a mixed
+//! batch, asserting the degradation-ladder invariant.
+//!
+//! Builds the same mixed workload batch as the `batch` driver (mcf,
+//! art, moldyn plus kernel variants crossed with the static estimator
+//! family), runs it once fault-free as the reference, then replays it
+//! under a seeded [`slo_service::FaultPlan`] per campaign seed. The
+//! invariant checked for every job of every campaign:
+//!
+//! * an outcome that stays **Optimized** is bit-identical to the
+//!   fault-free reference — faults never silently change optimized
+//!   bits;
+//! * faults may move a job **down** the ladder (Optimized → Advisory);
+//! * a parseable input never lands on **Failed** — that rung is
+//!   reserved for unusable input, which this batch has none of.
+//!
+//! Any violation prints `FAIL` and the driver exits nonzero, so CI can
+//! gate on it. Campaigns run on the virtual clock (retry backoff costs
+//! no wall time) with two workers, so the pool's worker-death site
+//! participates. `--json` merges the tallies into `BENCH_vm.json`
+//! under `chaos`.
+//!
+//! ```text
+//! chaos [--seeds N] [--seed-start N] [--jobs N] [--json]
+//! ```
+
+use bench::report::{json_flag, record_chaos, ChaosStats};
+use slo_service::{
+    Clock, FaultPlan, Job, JobOutcome, JobStatus, RetryPolicy, SchemeSpec, Service, ServiceConfig,
+};
+use slo_workloads::art::{self, ArtConfig};
+use slo_workloads::kernel;
+use slo_workloads::mcf::{self, McfConfig};
+use slo_workloads::moldyn::{self, MoldynConfig};
+
+/// The comparable essence of an outcome: everything except timings and
+/// supervision bookkeeping (attempts may legitimately differ under
+/// chaos — the bits must not).
+fn digest(o: &JobOutcome) -> String {
+    match &o.status {
+        JobStatus::Optimized(opt) => format!(
+            "{} optimized {} {} {} {} {} {:016x}\n{}",
+            o.id,
+            opt.num_transformed,
+            opt.eval.baseline_cycles,
+            opt.eval.optimized_cycles,
+            opt.eval.baseline_instructions,
+            opt.eval.optimized_instructions,
+            opt.ipa_fingerprint,
+            opt.transformed
+        ),
+        JobStatus::Advisory { reason, .. } => format!("{} advisory {}", o.id, reason.kind()),
+        JobStatus::Failed(msg) => format!("{} failed {msg}", o.id),
+    }
+}
+
+fn build_jobs(n: usize) -> Vec<Job> {
+    let programs = vec![
+        (
+            "mcf",
+            mcf::build_config(McfConfig {
+                n: 300,
+                iters: 2,
+                skew: 0,
+            }),
+        ),
+        ("art", art::build_config(ArtConfig { n: 800, passes: 1 })),
+        (
+            "moldyn",
+            moldyn::build_config(MoldynConfig {
+                n: 300,
+                steps: 1,
+                neighbors: 6,
+            }),
+        ),
+        ("kernel64", kernel::build(64, 200)),
+    ];
+    let schemes = [
+        SchemeSpec::Ispbo,
+        SchemeSpec::Spbo,
+        SchemeSpec::IspboNo,
+        SchemeSpec::IspboW,
+    ];
+    (0..n)
+        .map(|i| {
+            let (name, prog) = &programs[i % programs.len()];
+            let scheme = schemes[(i / programs.len()) % schemes.len()].clone();
+            Job::from_program(format!("{name}#{i}"), prog.clone()).scheme(scheme)
+        })
+        .collect()
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = json_flag(&mut args);
+    let seeds = flag_value(&args, "--seeds").unwrap_or(8);
+    let seed_start = flag_value(&args, "--seed-start").unwrap_or(0) as u64;
+    let num_jobs = flag_value(&args, "--jobs").unwrap_or(24);
+    let jobs = build_jobs(num_jobs);
+
+    // Fault-free reference: the bits every chaos-surviving Optimized
+    // outcome must reproduce.
+    let reference_svc = Service::new(
+        ServiceConfig::builder()
+            .workers(2)
+            .cache_capacity(64)
+            .build(),
+    );
+    let reference: Vec<String> = reference_svc.run_batch(&jobs).iter().map(digest).collect();
+    let ref_optimized = reference
+        .iter()
+        .filter(|d| d.contains(" optimized "))
+        .count();
+    println!("reference: {num_jobs} jobs, {ref_optimized} optimized (fault-free)");
+
+    let mut violations = 0usize;
+    let mut optimized = 0u64;
+    let mut advisory = 0u64;
+    let mut faults = 0u64;
+    let mut retries = 0u64;
+    let mut quarantined = 0u64;
+    for seed in seed_start..seed_start + seeds as u64 {
+        let svc = Service::with_chaos(
+            ServiceConfig::builder()
+                .workers(2)
+                .cache_capacity(64)
+                .build(),
+            slo_obs::Recorder::disabled(),
+            FaultPlan::seeded(seed),
+            RetryPolicy::default(),
+            Clock::virtual_clock(),
+        );
+        let outcomes = svc.run_batch(&jobs);
+        for (o, want) in outcomes.iter().zip(&reference) {
+            match &o.status {
+                JobStatus::Optimized(_) => {
+                    if &digest(o) != want {
+                        println!(
+                            "FAIL: seed {seed}: {} stayed optimized but its bits changed",
+                            o.id
+                        );
+                        violations += 1;
+                    }
+                }
+                JobStatus::Advisory { .. } => {} // down the ladder: allowed
+                JobStatus::Failed(msg) => {
+                    println!(
+                        "FAIL: seed {seed}: {} fell to failed on parseable input: {msg}",
+                        o.id
+                    );
+                    violations += 1;
+                }
+            }
+        }
+        let m = svc.metrics();
+        println!(
+            "seed {seed}: {} optimized, {} advisory, {} failed; {} fault(s) injected, \
+             {} retr{}, {} quarantined",
+            m.optimized,
+            m.degraded,
+            m.failed,
+            m.faults_injected_total(),
+            m.retries,
+            if m.retries == 1 { "y" } else { "ies" },
+            m.quarantined
+        );
+        optimized += m.optimized;
+        advisory += m.degraded;
+        faults += m.faults_injected_total();
+        retries += m.retries;
+        quarantined += m.quarantined;
+    }
+
+    println!(
+        "chaos: {seeds} seed(s) x {num_jobs} jobs, {faults} fault(s) injected, \
+         {retries} retr{}, {quarantined} quarantined, {violations} ladder violation(s)",
+        if retries == 1 { "y" } else { "ies" },
+    );
+    if json {
+        record_chaos(ChaosStats {
+            seeds,
+            jobs_per_seed: num_jobs,
+            violations,
+            faults_injected: faults,
+            retries,
+            quarantined,
+            optimized,
+            advisory,
+        });
+    }
+    if violations > 0 {
+        println!("FAIL: the degradation ladder was violated");
+        std::process::exit(1);
+    }
+    println!("ok: faults only ever moved outcomes down the ladder");
+}

@@ -565,6 +565,61 @@ pub fn record_batch(stats: BatchStats) {
     }
 }
 
+/// The chaos campaign driver's tallies for the trajectory file.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosStats {
+    /// Campaign seeds swept.
+    pub seeds: usize,
+    /// Jobs per campaign.
+    pub jobs_per_seed: usize,
+    /// Degradation-ladder violations (must be 0: optimized bits changed
+    /// or a parseable input failed).
+    pub violations: usize,
+    /// Total faults injected across all campaigns and sites.
+    pub faults_injected: u64,
+    /// Supervisor retries across all campaigns.
+    pub retries: u64,
+    /// Quarantined jobs across all campaigns.
+    pub quarantined: u64,
+    /// Optimized outcomes across all campaigns.
+    pub optimized: u64,
+    /// Advisory outcomes across all campaigns.
+    pub advisory: u64,
+}
+
+/// Merge the chaos driver's tallies into `BENCH_vm.json` under `chaos`.
+/// Call only when the driver saw `--json`.
+pub fn record_chaos(stats: ChaosStats) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let mut entry = Json::object();
+    entry.set("seeds", Json::Num(stats.seeds as f64));
+    entry.set("jobs_per_seed", Json::Num(stats.jobs_per_seed as f64));
+    entry.set("violations", Json::Num(stats.violations as f64));
+    entry.set("faults_injected", Json::Num(stats.faults_injected as f64));
+    entry.set("retries", Json::Num(stats.retries as f64));
+    entry.set("quarantined", Json::Num(stats.quarantined as f64));
+    entry.set("optimized", Json::Num(stats.optimized as f64));
+    entry.set("advisory", Json::Num(stats.advisory as f64));
+    root.set("chaos", entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] chaos: {} seed(s) x {} jobs, {} fault(s), {} violation(s) -> {}",
+            stats.seeds,
+            stats.jobs_per_seed,
+            stats.faults_injected,
+            stats.violations,
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Whether `--json` is among the process arguments (and strip it from a
 /// caller-collected arg list so positional parsing stays simple).
 pub fn json_flag(args: &mut Vec<String>) -> bool {

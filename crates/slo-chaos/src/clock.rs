@@ -1,0 +1,100 @@
+//! A clock that can be real or virtual.
+//!
+//! The supervisor sleeps between retry attempts. Under test (and in
+//! seeded chaos campaigns) those sleeps must cost nothing and stay
+//! deterministic, so the service takes a [`Clock`] instead of calling
+//! `std::thread::sleep` directly: the virtual variant advances an
+//! atomic counter instead of blocking, and tests can read how much
+//! simulated time a schedule consumed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Milliseconds-resolution clock, real or virtual.
+///
+/// Clones of a virtual clock share the same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// Wall time: `now_ms` reads a process-wide monotonic clock and
+    /// `sleep_ms` actually blocks.
+    #[default]
+    Real,
+    /// Simulated time: `sleep_ms` advances the counter without
+    /// blocking.
+    Virtual(Arc<AtomicU64>),
+}
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock {
+    /// A fresh virtual clock starting at 0 ms.
+    pub fn virtual_clock() -> Clock {
+        Clock::Virtual(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Whether sleeping on this clock blocks the calling thread.
+    pub fn is_real(&self) -> bool {
+        matches!(self, Clock::Real)
+    }
+
+    /// Current time in milliseconds (monotonic; origin is the process
+    /// start for the real clock, 0 for a fresh virtual clock).
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            Clock::Real => process_epoch().elapsed().as_millis() as u64,
+            Clock::Virtual(t) => t.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sleep for `ms`: blocks on the real clock, advances the counter
+    /// on a virtual one.
+    pub fn sleep_ms(&self, ms: u64) {
+        match self {
+            Clock::Real => std::thread::sleep(Duration::from_millis(ms)),
+            Clock::Virtual(t) => {
+                t.fetch_add(ms, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_sleep_advances_without_blocking() {
+        let c = Clock::virtual_clock();
+        let wall = Instant::now();
+        c.sleep_ms(10_000);
+        c.sleep_ms(5_000);
+        assert_eq!(c.now_ms(), 15_000);
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "virtual sleep must not block"
+        );
+    }
+
+    #[test]
+    fn virtual_clones_share_time() {
+        let c = Clock::virtual_clock();
+        let d = c.clone();
+        c.sleep_ms(7);
+        assert_eq!(d.now_ms(), 7);
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = Clock::Real;
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+        assert!(c.is_real());
+        assert!(!Clock::virtual_clock().is_real());
+    }
+}

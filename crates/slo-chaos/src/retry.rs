@@ -1,0 +1,151 @@
+//! Bounded deterministic exponential backoff.
+//!
+//! The supervisor retries *transient* job failures (caught panics,
+//! exhausted budgets, injected faults) and quarantines a job once its
+//! attempts are spent. The delays between attempts come from a
+//! [`BackoffSchedule`]: exponential growth from a base, a hard per-step
+//! cap, and seed-derived jitter folded in such that the schedule is
+//! (a) a pure function of `(seed, policy)` and (b) monotonically
+//! non-decreasing — both properties are pinned by property tests.
+
+use crate::mix;
+
+/// Retry policy for transient job failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = never retry). Once `max_attempts`
+    /// transient failures accumulate, the job is quarantined.
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Hard cap on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 1_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, instant
+    /// quarantine on a transient failure).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The deterministic backoff schedule this policy yields under
+    /// `seed` (callers derive `seed` from the job identity so distinct
+    /// jobs do not thunder in lockstep).
+    pub fn schedule(&self, seed: u64) -> BackoffSchedule {
+        BackoffSchedule {
+            policy: *self,
+            seed,
+            retries_done: 0,
+            last_ms: 0,
+        }
+    }
+}
+
+/// Iterator over retry delays: exponential, capped, jittered,
+/// reproducible and non-decreasing.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    policy: RetryPolicy,
+    seed: u64,
+    retries_done: u32,
+    last_ms: u64,
+}
+
+impl BackoffSchedule {
+    /// Delay in milliseconds before the next retry, or `None` once the
+    /// policy's attempts are exhausted (at most `max_attempts - 1`
+    /// delays: the first attempt needs none).
+    pub fn next_delay_ms(&mut self) -> Option<u64> {
+        if self.retries_done + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let k = self.retries_done;
+        self.retries_done += 1;
+        // base * 2^k, saturating well before u64 overflow.
+        let exp = self
+            .policy
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(k).unwrap_or(u64::MAX));
+        // Up to +25% deterministic jitter, then the per-step cap.
+        let jitter = mix(self.seed ^ u64::from(k)) % (exp / 4 + 1);
+        let raw = exp.saturating_add(jitter).min(self.policy.max_delay_ms);
+        // Clamping at `max_delay_ms` can make a later raw delay smaller
+        // than an earlier jittered one; carry the running maximum so
+        // the schedule callers see never shrinks.
+        self.last_ms = self.last_ms.max(raw);
+        Some(self.last_ms)
+    }
+
+    /// Every remaining delay, drained into a vector.
+    pub fn collect_all(mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(d) = self.next_delay_ms() {
+            out.push(d);
+        }
+        out
+    }
+}
+
+impl Iterator for BackoffSchedule {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.next_delay_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_length_is_attempts_minus_one() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.schedule(1).collect_all().len(), 3);
+        assert!(RetryPolicy::no_retries()
+            .schedule(1)
+            .collect_all()
+            .is_empty());
+    }
+
+    #[test]
+    fn delays_grow_and_respect_the_cap() {
+        let p = RetryPolicy {
+            max_attempts: 12,
+            base_delay_ms: 10,
+            max_delay_ms: 300,
+        };
+        let delays = p.schedule(99).collect_all();
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "{delays:?}");
+        assert!(delays.iter().all(|&d| d <= 300), "{delays:?}");
+        assert!(delays[0] >= 10);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_jitters() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay_ms: 100,
+            max_delay_ms: 100_000,
+        };
+        assert_eq!(p.schedule(5).collect_all(), p.schedule(5).collect_all());
+        assert_ne!(p.schedule(5).collect_all(), p.schedule(6).collect_all());
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the retry schedule (ISSUE 5 satellite): for any
+//! `(seed, policy)` the schedule is reproducible, monotonically
+//! non-decreasing, capped, and exactly `max_attempts - 1` long.
+
+use proptest::prelude::*;
+use slo_chaos::RetryPolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn schedule_is_reproducible_and_monotone(
+        seed in 0u64..u64::MAX,
+        max_attempts in 1u32..12,
+        base in 1u64..500,
+        cap in 1u64..5_000,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts,
+            base_delay_ms: base,
+            max_delay_ms: cap,
+        };
+        let a = policy.schedule(seed).collect_all();
+        let b = policy.schedule(seed).collect_all();
+        prop_assert_eq!(&a, &b, "same (seed, policy) must replay identically");
+        prop_assert_eq!(a.len(), (max_attempts - 1) as usize);
+        prop_assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "delays must never shrink: {:?}", a
+        );
+        prop_assert!(
+            a.iter().all(|&d| d <= cap),
+            "per-step cap violated: {:?} cap {}", a, cap
+        );
+    }
+
+    fn first_delay_is_at_least_base_when_under_cap(
+        seed in 0u64..u64::MAX,
+        base in 1u64..1_000,
+    ) {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_delay_ms: base,
+            max_delay_ms: u64::MAX,
+        };
+        let d = policy.schedule(seed).collect_all();
+        prop_assert_eq!(d.len(), 1);
+        prop_assert!(d[0] >= base, "first delay {} below base {}", d[0], base);
+        // jitter is bounded by +25%
+        prop_assert!(d[0] <= base + base / 4, "jitter overshot: {} vs base {}", d[0], base);
+    }
+}

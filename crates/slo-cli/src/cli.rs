@@ -26,7 +26,9 @@ use slo::vm::{Feedback, VmOptions};
 use slo::SloError;
 use slo_ir::parser::parse;
 use slo_ir::Program;
-use slo_service::{JobStatus, Service, ServiceConfig};
+use slo_service::{
+    chaos_line, job_key, Clock, FaultPlan, JobStatus, Journal, RetryPolicy, Service, ServiceConfig,
+};
 use std::fmt::Write as _;
 
 type Result<T> = std::result::Result<T, SloError>;
@@ -46,12 +48,16 @@ commands:
   vcg <file.sir> <record>                VCG affinity graph for one type
   print <file.sir>                       parse, verify and pretty-print IR
   batch <manifest> [--workers N] [--cache N] [--json] [--strict]
-        [--trace-json t.json]            run a job manifest through the
+        [--chaos-seed N] [--trace-json t.json]
+                                         run a job manifest through the
                                          batch service
-  serve [--workers N] [--cache N]        read job lines from stdin, print
+  serve [--workers N] [--cache N] [--journal FILE] [--chaos-seed N]
+                                         read job lines from stdin, print
                                          one outcome per line (`metrics`
                                          dumps JSON, `metrics prom` the
-                                         Prometheus exposition)
+                                         Prometheus exposition); --journal
+                                         appends outcomes to a JSONL WAL
+                                         and replays it on restart
   trace-check <trace.json>               validate a Chrome trace against
                                          the golden schema
   help                                   this text
@@ -479,6 +485,23 @@ fn flag_count(opts: &Opts, name: &str, default: usize) -> Result<usize> {
     }
 }
 
+/// `--chaos-seed N` → a seeded fault plan with the default per-site
+/// rates; absent → disabled (zero-cost) plan.
+fn chaos_flag(opts: &Opts) -> Result<FaultPlan> {
+    match opts.value("chaos-seed") {
+        Some(v) => {
+            let seed: u64 = v
+                .parse()
+                .map_err(|_| SloError::Usage(format!("--chaos-seed: invalid seed `{v}`")))?;
+            Ok(FaultPlan::seeded(seed))
+        }
+        None if opts.has("chaos-seed") => {
+            Err(SloError::Usage("--chaos-seed needs a number".into()))
+        }
+        None => Ok(FaultPlan::disabled()),
+    }
+}
+
 /// One human-readable result line per job outcome.
 fn outcome_line(o: &slo_service::JobOutcome) -> String {
     let cache = if o.metrics.cache_hit { " [cached]" } else { "" };
@@ -520,12 +543,15 @@ fn cmd_batch(args: &[String]) -> Result<String> {
     let cache = flag_count(&opts, "cache", 256)?;
     let (rec, trace_path) = trace_recorder(&opts)?;
     let jobs = slo_service::load_manifest(std::path::Path::new(manifest))?;
-    let service = Service::with_trace(
+    let service = Service::with_chaos(
         ServiceConfig::builder()
             .workers(workers)
             .cache_capacity(cache)
             .build(),
         rec.clone(),
+        chaos_flag(&opts)?,
+        RetryPolicy::default(),
+        Clock::Real,
     );
     let outcomes = service.run_batch(&jobs);
     write_trace(&rec, trace_path.as_deref())?;
@@ -562,16 +588,33 @@ fn cmd_serve(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let workers = flag_count(&opts, "workers", 0)?;
     let cache = flag_count(&opts, "cache", 256)?;
-    let service = Service::new(
+    let service = Service::with_chaos(
         ServiceConfig::builder()
             .workers(workers)
             .cache_capacity(cache)
             .build(),
+        Recorder::disabled(),
+        chaos_flag(&opts)?,
+        RetryPolicy::default(),
+        Clock::Real,
     );
+    let mut journal: Option<Journal> = match opts.value("journal") {
+        Some(p) => {
+            let j = Journal::open(std::path::Path::new(p))
+                .map_err(|e| SloError::Io(format!("journal `{p}`: {e}")))?;
+            println!("journal: recovered {} completed job(s)", j.recovered());
+            Some(j)
+        }
+        None if opts.has("journal") => {
+            return Err(SloError::Usage("--journal needs a file path".into()))
+        }
+        None => None,
+    };
     let dir = std::env::current_dir().map_err(|e| SloError::Io(format!("current dir: {e}")))?;
 
     let stdin = std::io::stdin();
     let mut line = String::new();
+    let mut replayed: u64 = 0;
     loop {
         line.clear();
         let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
@@ -587,17 +630,53 @@ fn cmd_serve(args: &[String]) -> Result<String> {
             "quit" | "exit" => break,
             "metrics" => println!("{}", service.metrics().to_json()),
             "metrics prom" => print!("{}", service.metrics().to_prometheus()),
-            _ => match slo_service::parse_job_line(&dir, trimmed) {
-                Ok(jobs) => {
-                    for o in service.run_batch(&jobs) {
-                        println!("{}", outcome_line(&o));
+            _ => {
+                // The chaos plan's ingress sites mangle the wire line
+                // *before* parsing; a disabled plan is the identity.
+                let wire = chaos_line(trimmed, service.fault_plan());
+                match slo_service::parse_job_line(&dir, &wire) {
+                    Ok(jobs) => {
+                        // Jobs the journal already holds are answered
+                        // from it; only the rest are (re)computed.
+                        let mut todo = Vec::new();
+                        for job in jobs {
+                            let key = job_key(&wire, &job);
+                            match journal.as_ref().and_then(|j| j.lookup(key)) {
+                                Some(e) => {
+                                    replayed += 1;
+                                    println!("{} [journal]", e.summary);
+                                }
+                                None => todo.push((key, job)),
+                            }
+                        }
+                        let fresh: Vec<_> = todo.iter().map(|(_, j)| j.clone()).collect();
+                        for (o, (key, _)) in service.run_batch(&fresh).iter().zip(&todo) {
+                            let summary = outcome_line(o);
+                            // WAL order: make the outcome durable first,
+                            // acknowledge second — a kill between the
+                            // two recomputes the job instead of losing
+                            // a journaled-but-unacknowledged reply.
+                            if let Some(j) = journal.as_mut() {
+                                j.record(*key, &o.id, &o.status, &summary)
+                                    .map_err(|e| SloError::Io(format!("journal append: {e}")))?;
+                            }
+                            println!("{summary}");
+                        }
                     }
+                    Err(msg) => println!("error: {msg}"),
                 }
-                Err(msg) => println!("error: {msg}"),
-            },
+            }
         }
     }
-    Ok(format!("served {} job(s)\n", service.metrics().jobs))
+    Ok(format!(
+        "served {} job(s){}\n",
+        service.metrics().jobs,
+        if replayed > 0 {
+            format!(" ({replayed} replayed from journal)")
+        } else {
+            String::new()
+        }
+    ))
 }
 
 #[cfg(test)]

@@ -332,3 +332,141 @@ fn trace_check_rejects_garbage() {
     );
     let _ = std::fs::remove_file(&bad);
 }
+
+/// Kill-and-recover: a serve session with `--journal` is SIGKILLed
+/// mid-stream after completing two jobs; the restarted session replays
+/// them from the journal (answering without recomputation) and only
+/// computes the genuinely new jobs.
+#[test]
+fn serve_journal_recovers_after_kill() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-journal-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    const SIR: &str = "func main() -> i64 {\nbb0:\n  ret 7\n}\n";
+    for name in ["a.sir", "b.sir", "c.sir", "d.sir"] {
+        std::fs::write(dir.join(name), SIR).expect("write sir");
+    }
+    let journal = dir.join("serve.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // Session 1: two jobs complete (journaled + flushed), then SIGKILL
+    // — no EOF, no graceful shutdown.
+    let mut child = slo()
+        .args(["serve", "--journal"])
+        .arg(&journal)
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"a.sir scheme=ispbo\nb.sir scheme=ispbo\n")
+        .expect("write jobs");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        // "journal: recovered 0 ..." + one reply per job
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        seen.push(line);
+    }
+    assert!(seen[0].contains("recovered 0"), "{seen:?}");
+    assert!(
+        seen[1].contains('a') && !seen[1].contains("[journal]"),
+        "{seen:?}"
+    );
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    // Session 2: same two lines plus two new ones. The first two must
+    // be answered from the journal, the new ones computed.
+    let mut child = slo()
+        .args(["serve", "--journal"])
+        .arg(&journal)
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("respawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(
+            b"a.sir scheme=ispbo\nb.sir scheme=ispbo\n\
+              c.sir scheme=ispbo\nd.sir scheme=ispbo\nquit\n",
+        )
+        .expect("write jobs");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("journal: recovered 2 completed job(s)"),
+        "replay announced:\n{text}"
+    );
+    let replayed = text.lines().filter(|l| l.ends_with("[journal]")).count();
+    assert_eq!(replayed, 2, "a and b answered from the journal:\n{text}");
+    assert!(
+        text.contains("served 2 job(s) (2 replayed from journal)"),
+        "only c and d were computed:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An edited source invalidates its journal entry: the job key covers
+/// the program text, so a recovered journal never serves stale results.
+#[test]
+fn serve_journal_does_not_replay_stale_sources() {
+    use std::io::Write as _;
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-journal-stale-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(
+        dir.join("x.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 1\n}\n",
+    )
+    .expect("write sir");
+    let journal = dir.join("serve.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let serve_once = |dir: &std::path::Path, journal: &std::path::Path| {
+        let mut child = slo()
+            .args(["serve", "--journal"])
+            .arg(journal)
+            .current_dir(dir)
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn slo serve");
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin")
+            .write_all(b"x.sir scheme=ispbo\nquit\n")
+            .expect("write jobs");
+        let out = child.wait_with_output().expect("wait");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let first = serve_once(&dir, &journal);
+    assert!(first.contains("served 1 job(s)"), "{first}");
+
+    // Edit the program: the restarted session must recompute.
+    std::fs::write(
+        dir.join("x.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 2\n}\n",
+    )
+    .expect("rewrite sir");
+    let second = serve_once(&dir, &journal);
+    assert!(
+        !second.contains("[journal]"),
+        "edited source must not replay:\n{second}"
+    );
+    assert!(second.contains("served 1 job(s)"), "{second}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

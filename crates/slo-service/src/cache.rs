@@ -15,10 +15,33 @@
 //! the entry (a collision would need equal 64-bit FNV digests *and*
 //! land in the same map slot — we accept the standard content-hash
 //! risk, as git does).
+//!
+//! **Re-verification.** Every entry also stores the IPA fingerprint of
+//! the analysis it caches. Lookups recompute the fingerprint and drop
+//! the entry on a mismatch ([`Lookup::Corrupt`]) — a poisoned entry is
+//! recomputed, never served. Poisoning does not happen in healthy
+//! operation; the chaos fault plan's `CachePoison` site corrupts the
+//! stored fingerprint at insert time to prove the re-verification path
+//! works, and its `CacheEvictStorm` site empties the whole cache on an
+//! insert to prove the service survives total recall loss.
 
+use slo::analysis::ipa_fingerprint;
 use slo::Analysis;
+use slo_chaos::{FaultPlan, Site};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Result of a verified cache lookup.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The entry was present and its fingerprint verified.
+    Hit(Arc<Analysis>),
+    /// The entry was present but failed re-verification; it has been
+    /// dropped and the caller must recompute.
+    Corrupt,
+    /// No entry.
+    Miss,
+}
 
 /// Bounded LRU map from analysis cache key to a shared [`Analysis`].
 #[derive(Debug)]
@@ -29,12 +52,16 @@ pub struct AnalysisCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    corrupt_drops: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
     analysis: Arc<Analysis>,
     last_used: u64,
+    /// `ipa_fingerprint` of `analysis` at insert time; verified on
+    /// every hit.
+    fingerprint: u64,
 }
 
 impl AnalysisCache {
@@ -48,21 +75,43 @@ impl AnalysisCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            corrupt_drops: 0,
         }
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
+    /// Look up `key`, refreshing its recency on a hit. Equivalent to
+    /// [`get_checked`] with corrupt entries folded into `None`.
+    ///
+    /// [`get_checked`]: AnalysisCache::get_checked
     pub fn get(&mut self, key: u64) -> Option<Arc<Analysis>> {
+        match self.get_checked(key) {
+            Lookup::Hit(a) => Some(a),
+            Lookup::Corrupt | Lookup::Miss => None,
+        }
+    }
+
+    /// Look up `key` with fingerprint re-verification: a present entry
+    /// whose recomputed IPA fingerprint no longer matches the stored
+    /// one is dropped and reported as [`Lookup::Corrupt`] (counted as a
+    /// miss — the caller recomputes either way).
+    pub fn get_checked(&mut self, key: u64) -> Lookup {
         self.stamp += 1;
         match self.entries.get_mut(&key) {
             Some(e) => {
-                e.last_used = self.stamp;
-                self.hits += 1;
-                Some(Arc::clone(&e.analysis))
+                if ipa_fingerprint(&e.analysis.ipa) != e.fingerprint {
+                    self.entries.remove(&key);
+                    self.corrupt_drops += 1;
+                    self.misses += 1;
+                    Lookup::Corrupt
+                } else {
+                    e.last_used = self.stamp;
+                    self.hits += 1;
+                    Lookup::Hit(Arc::clone(&e.analysis))
+                }
             }
             None => {
                 self.misses += 1;
-                None
+                Lookup::Miss
             }
         }
     }
@@ -70,8 +119,22 @@ impl AnalysisCache {
     /// Insert `key -> analysis`, evicting the least-recently-used entry
     /// if the bound would be exceeded.
     pub fn insert(&mut self, key: u64, analysis: Arc<Analysis>) {
+        self.insert_chaotic(key, analysis, &FaultPlan::disabled());
+    }
+
+    /// [`insert`] with fault injection: `CacheEvictStorm` empties the
+    /// cache before the insert, `CachePoison` corrupts the stored
+    /// fingerprint so the *next* lookup of `key` detects the mismatch
+    /// and recomputes.
+    ///
+    /// [`insert`]: AnalysisCache::insert
+    pub fn insert_chaotic(&mut self, key: u64, analysis: Arc<Analysis>, faults: &FaultPlan) {
         if self.capacity == 0 {
             return;
+        }
+        if faults.should_fire(Site::CacheEvictStorm) {
+            self.evictions += self.entries.len() as u64;
+            self.entries.clear();
         }
         self.stamp += 1;
         if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
@@ -80,11 +143,16 @@ impl AnalysisCache {
                 self.evictions += 1;
             }
         }
+        let mut fingerprint = ipa_fingerprint(&analysis.ipa);
+        if faults.should_fire(Site::CachePoison) {
+            fingerprint ^= 0xDEAD_BEEF_0BAD_CAFE;
+        }
         self.entries.insert(
             key,
             Entry {
                 analysis,
                 last_used: self.stamp,
+                fingerprint,
             },
         );
     }
@@ -103,12 +171,19 @@ impl AnalysisCache {
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.evictions)
     }
+
+    /// Entries dropped by fingerprint re-verification since
+    /// construction.
+    pub fn corrupt_drops(&self) -> u64 {
+        self.corrupt_drops
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use slo::analysis::WeightScheme;
+    use slo_chaos::ChaosConfig;
     use slo_ir::parser::parse;
 
     fn some_analysis() -> Arc<Analysis> {
@@ -127,6 +202,7 @@ mod tests {
         c.insert(1, some_analysis());
         assert!(c.get(1).is_some());
         assert_eq!(c.counters(), (1, 1, 0));
+        assert_eq!(c.corrupt_drops(), 0);
     }
 
     #[test]
@@ -150,5 +226,35 @@ mod tests {
         c.insert(1, some_analysis());
         assert!(c.is_empty());
         assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn poisoned_insert_is_caught_on_lookup() {
+        let poison = FaultPlan::with_config(1, ChaosConfig::never().rate(Site::CachePoison, 1024));
+        let mut c = AnalysisCache::new(4);
+        c.insert_chaotic(1, some_analysis(), &poison);
+        match c.get_checked(1) {
+            Lookup::Corrupt => {}
+            other => panic!("expected corrupt entry, got {other:?}"),
+        }
+        assert_eq!(c.corrupt_drops(), 1);
+        assert!(c.is_empty(), "corrupt entry must be dropped");
+        // A clean re-insert heals the key.
+        c.insert(1, some_analysis());
+        assert!(matches!(c.get_checked(1), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn evict_storm_clears_and_counts() {
+        let storm =
+            FaultPlan::with_config(1, ChaosConfig::never().rate(Site::CacheEvictStorm, 1024));
+        let mut c = AnalysisCache::new(8);
+        let a = some_analysis();
+        c.insert(1, Arc::clone(&a));
+        c.insert(2, Arc::clone(&a));
+        c.insert_chaotic(3, Arc::clone(&a), &storm);
+        assert_eq!(c.len(), 1, "storm clears everything before the insert");
+        assert!(c.get(3).is_some());
+        assert_eq!(c.counters().2, 2, "storm victims count as evictions");
     }
 }

@@ -191,18 +191,34 @@ pub enum Degradation {
     Budget(String),
     /// The job body panicked (caught; the batch continued).
     Panic(String),
+    /// An injected fault surfaced (chaos campaigns only; classified
+    /// transient by the supervisor, like panics and budgets).
+    Fault(String),
 }
 
 impl Degradation {
     /// Short machine-readable label (`transform` / `verification` /
-    /// `budget` / `panic`).
+    /// `budget` / `panic` / `fault`).
     pub fn kind(&self) -> &'static str {
         match self {
             Degradation::Transform(_) => "transform",
             Degradation::Verification(_) => "verification",
             Degradation::Budget(_) => "budget",
             Degradation::Panic(_) => "panic",
+            Degradation::Fault(_) => "fault",
         }
+    }
+
+    /// Whether a retry could plausibly change the outcome. Panics,
+    /// exhausted budgets and injected faults are transient — the
+    /// supervisor retries them with backoff. Transform and
+    /// verification failures are deterministic properties of the input
+    /// and are never retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Degradation::Budget(_) | Degradation::Panic(_) | Degradation::Fault(_)
+        )
     }
 }
 
@@ -212,7 +228,8 @@ impl std::fmt::Display for Degradation {
             Degradation::Transform(m)
             | Degradation::Verification(m)
             | Degradation::Budget(m)
-            | Degradation::Panic(m) => write!(f, "{}: {m}", self.kind()),
+            | Degradation::Panic(m)
+            | Degradation::Fault(m) => write!(f, "{}: {m}", self.kind()),
         }
     }
 }
@@ -291,6 +308,12 @@ pub struct JobOutcome {
     pub status: JobStatus,
     /// Timing/cache observations.
     pub metrics: JobMetrics,
+    /// How many attempts the supervisor ran (1 = no retries).
+    pub attempts: u32,
+    /// Whether the job exhausted its retry budget on transient
+    /// failures and was quarantined (its last advisory outcome is
+    /// still returned — quarantine never moves a job down the ladder).
+    pub quarantined: bool,
 }
 
 #[cfg(test)]

@@ -1,0 +1,293 @@
+//! The crash-recoverable serve journal: an append-only JSONL
+//! write-ahead log of completed job outcomes.
+//!
+//! `slo serve --journal <path>` records one line per finished job, keyed
+//! by a stable digest of the wire line that requested it, the job id
+//! and the program source it resolved to ([`job_key`]). On restart the
+//! journal is replayed: a job whose key is already present is served
+//! from the journal summary instead of being recomputed, so a serve
+//! process killed mid-batch resumes where it left off — completed work
+//! is never redone, in-flight work (started but not journaled) simply
+//! reruns.
+//!
+//! The format is deliberately dumb: one self-contained JSON object per
+//! line, flushed after every append. Replay tolerates a torn final
+//! line (the crash may have landed mid-write); anything that does not
+//! parse as a complete record is ignored. There is no compaction —
+//! journals are per-serve-session artifacts, not databases.
+
+use crate::job::{Job, JobInput, JobStatus};
+use slo_chaos::fnv1a;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// A replayable journal entry: what a prior serve session recorded for
+/// a completed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The job's caller-visible id.
+    pub id: String,
+    /// `optimized` / `advisory` / `failed` (see [`JobStatus::kind`]).
+    pub status: String,
+    /// The one-line reply summary the session printed for the job.
+    pub summary: String,
+}
+
+/// The append-only outcome journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    completed: HashMap<u64, JournalEntry>,
+    recovered: usize,
+}
+
+/// Stable identity of "this request line produced this job over this
+/// source": FNV-1a over the wire line, the job id, and the program
+/// text. Editing the `.sir` file (or the line's attributes) changes
+/// the key, so a recovered journal never serves stale results for
+/// changed inputs.
+pub fn job_key(line: &str, job: &Job) -> u64 {
+    let mut h = fnv1a(line.trim().as_bytes());
+    h ^= fnv1a(job.id.as_bytes()).rotate_left(17);
+    if let JobInput::Source(src) = &job.input {
+        h ^= fnv1a(src.as_bytes()).rotate_left(31);
+    }
+    h
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, replaying any complete
+    /// records already present. The number of recovered outcomes is
+    /// available via [`Journal::recovered`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening or reading the file; torn or
+    /// malformed records are skipped, never fatal.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let mut completed = HashMap::new();
+        if let Ok(f) = File::open(path) {
+            for line in BufReader::new(f).lines() {
+                let line = line?;
+                if let Some((key, entry)) = parse_record(&line) {
+                    completed.insert(key, entry);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let recovered = completed.len();
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+            completed,
+            recovered,
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many completed outcomes the journal replayed at open time.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// The replayed (or since-recorded) entry for `key`, if any.
+    pub fn lookup(&self, key: u64) -> Option<&JournalEntry> {
+        self.completed.get(&key)
+    }
+
+    /// Append one completed outcome and flush it to disk before
+    /// returning — a crash after `record` never loses the entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the append or flush.
+    pub fn record(
+        &mut self,
+        key: u64,
+        id: &str,
+        status: &JobStatus,
+        summary: &str,
+    ) -> std::io::Result<()> {
+        let line = format!(
+            "{{\"key\":\"{key:016x}\",\"id\":\"{}\",\"status\":\"{}\",\"summary\":\"{}\"}}",
+            escape(id),
+            status.kind(),
+            escape(summary),
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.completed.insert(
+            key,
+            JournalEntry {
+                id: id.to_string(),
+                status: status.kind().to_string(),
+                summary: summary.to_string(),
+            },
+        );
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Extract the string value of `"name":"..."` from a record line,
+/// honoring backslash escapes. Returns `None` on any malformation —
+/// replay treats that as a torn record and skips it.
+fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(&rest[..i]);
+        }
+    }
+    None
+}
+
+fn parse_record(line: &str) -> Option<(u64, JournalEntry)> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return None; // torn or foreign line
+    }
+    let key = u64::from_str_radix(field(line, "key")?, 16).ok()?;
+    Some((
+        key,
+        JournalEntry {
+            id: unescape(field(line, "id")?),
+            status: unescape(field(line, "status")?),
+            summary: unescape(field(line, "summary")?),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "slo-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d.join(name)
+    }
+
+    fn failed(msg: &str) -> JobStatus {
+        JobStatus::Failed(msg.to_string())
+    }
+
+    #[test]
+    fn record_then_reopen_recovers() {
+        let p = tmp("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::open(&p).expect("open");
+            assert_eq!(j.recovered(), 0);
+            j.record(0xabc, "a", &failed("x"), "a\tfailed \"quoted\"")
+                .expect("record");
+            j.record(0xdef, "b", &failed("y"), "b optimized")
+                .expect("record");
+        }
+        let j = Journal::open(&p).expect("reopen");
+        assert_eq!(j.recovered(), 2);
+        let e = j.lookup(0xabc).expect("entry");
+        assert_eq!(e.id, "a");
+        assert_eq!(e.status, "failed");
+        assert_eq!(e.summary, "a\tfailed \"quoted\"", "escapes round-trip");
+        assert!(j.lookup(0x123).is_none());
+    }
+
+    #[test]
+    fn torn_last_line_is_skipped() {
+        let p = tmp("torn.jsonl");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::open(&p).expect("open");
+            j.record(1, "a", &failed("x"), "s1").expect("record");
+            j.record(2, "b", &failed("x"), "s2").expect("record");
+        }
+        // Simulate a crash mid-append: chop the file mid-record.
+        let text = std::fs::read_to_string(&p).expect("read");
+        let torn = &text[..text.len() - 25];
+        let mut f = File::create(&p).expect("truncate");
+        f.write_all(torn.as_bytes()).expect("write");
+        drop(f);
+
+        let j = Journal::open(&p).expect("reopen");
+        assert_eq!(
+            j.recovered(),
+            1,
+            "complete record survives, torn one dropped"
+        );
+        assert!(j.lookup(1).is_some());
+        assert!(j.lookup(2).is_none());
+    }
+
+    #[test]
+    fn job_key_tracks_line_id_and_source() {
+        let job = |src: &str, id: &str| Job {
+            id: id.to_string(),
+            ..Job::from_source(id, src)
+        };
+        let k = job_key("a.sir steps=10", &job("ret 0", "a"));
+        assert_eq!(k, job_key("a.sir steps=10", &job("ret 0", "a")));
+        assert_ne!(k, job_key("a.sir steps=20", &job("ret 0", "a")));
+        assert_ne!(k, job_key("a.sir steps=10", &job("ret 1", "a")));
+        assert_ne!(k, job_key("a.sir steps=10", &job("ret 0", "a#1")));
+    }
+}

@@ -16,8 +16,20 @@
 //!   normalized IR + scheme + config, with an LRU bound — repeated
 //!   analysis over near-identical inputs is the dominant batch cost.
 //! * **Phase metrics** ([`MetricsSnapshot`]): queue wait, per-phase
-//!   timings, cache hit/miss and degradation counters, exportable as
-//!   JSON.
+//!   timings, cache hit/miss, degradation, retry/quarantine and
+//!   fault-injection counters, exportable as JSON and Prometheus text.
+//! * **Supervision** ([`Service::run_job`]): transient failures
+//!   (panics, exhausted budgets, injected faults) are retried with a
+//!   bounded deterministic backoff; deterministic failures never are;
+//!   jobs that stay transient are quarantined without losing their
+//!   advisory output.
+//! * **Fault injection** ([`slo_chaos::FaultPlan`] via
+//!   [`service::Service::with_chaos`]): deterministic seed-driven
+//!   faults in the VM, cache, pool and manifest reader, zero-cost when
+//!   disabled.
+//! * **Crash recovery** ([`journal::Journal`]): `slo serve` appends
+//!   every outcome to a JSONL write-ahead journal and replays it on
+//!   restart, so a killed session never recomputes completed jobs.
 //!
 //! # Examples
 //!
@@ -37,6 +49,7 @@
 
 pub mod cache;
 pub mod job;
+pub mod journal;
 pub mod manifest;
 pub mod metrics;
 pub mod pool;
@@ -46,7 +59,12 @@ pub use job::{
     Budget, Degradation, Fault, Job, JobInput, JobMetrics, JobOutcome, JobStatus, Optimized,
     SchemeSpec,
 };
-pub use manifest::{load_manifest, parse_job_line};
+pub use journal::{job_key, Journal, JournalEntry};
+pub use manifest::{chaos_line, load_manifest, parse_job_line, MAX_LINE_LEN};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use pool::par_map_bounded;
+pub use pool::{par_map_bounded, par_map_supervised};
 pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
+
+// The chaos vocabulary the service API speaks, re-exported so CLI and
+// bench consumers need no direct `slo-chaos` dependency.
+pub use slo_chaos::{ChaosConfig, Clock, FaultPlan, RetryPolicy, Site};

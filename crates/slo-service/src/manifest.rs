@@ -23,7 +23,13 @@
 
 use crate::job::{Budget, Job, JobInput, SchemeSpec};
 use slo::{PipelineConfig, SloError};
+use slo_chaos::{FaultPlan, Site};
 use std::path::Path;
+
+/// Upper bound on one manifest/serve line in bytes. Longer lines are
+/// rejected before tokenization — `slo serve` reads untrusted stdin,
+/// and an unbounded line would otherwise buffer without limit.
+pub const MAX_LINE_LEN: usize = 4096;
 
 /// Parse the manifest at `path` into jobs.
 ///
@@ -55,6 +61,12 @@ pub fn load_manifest(path: &Path) -> Result<Vec<Job>, SloError> {
 ///
 /// A human-readable message naming the offending token.
 pub fn parse_job_line(dir: &Path, line: &str) -> Result<Vec<Job>, String> {
+    if line.len() > MAX_LINE_LEN {
+        return Err(format!(
+            "job line too long ({} bytes, limit {MAX_LINE_LEN})",
+            line.len()
+        ));
+    }
     let mut tokens = line.split_whitespace();
     let file = tokens.next().ok_or("empty job line")?;
     let sir_path = dir.join(file);
@@ -67,7 +79,13 @@ pub fn parse_job_line(dir: &Path, line: &str) -> Result<Vec<Job>, String> {
     let mut relax = false;
     let mut dcache = false;
     let mut repeat = 1usize;
+    let mut seen: Vec<&str> = Vec::new();
     for tok in tokens {
+        let attr = tok.split_once('=').map_or(tok, |(k, _)| k);
+        if seen.contains(&attr) {
+            return Err(format!("duplicate attribute `{attr}`"));
+        }
+        seen.push(attr);
         match tok.split_once('=') {
             Some(("scheme", v)) => {
                 scheme = Some(SchemeSpec::parse(v).ok_or_else(|| format!("unknown scheme `{v}`"))?);
@@ -128,6 +146,32 @@ pub fn parse_job_line(dir: &Path, line: &str) -> Result<Vec<Job>, String> {
         .collect())
 }
 
+/// Apply the chaos plan's manifest sites to a wire line before it is
+/// parsed (`slo serve`'s ingress fault surface): `ManifestTruncate`
+/// cuts the line at a deterministic offset, `ManifestGarble` replaces
+/// a deterministic character with `U+FFFD`. Either way the result is
+/// still valid UTF-8 — the damage surfaces as a parse error (an
+/// `error:` reply), never as a crashed reader loop.
+pub fn chaos_line(line: &str, faults: &FaultPlan) -> String {
+    let mut line = line.to_string();
+    if !line.is_empty() && faults.should_fire(Site::ManifestTruncate) {
+        let mut cut = faults.magnitude(Site::ManifestTruncate, line.len() as u64 - 1) as usize;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        line.truncate(cut);
+    }
+    if !line.is_empty() && faults.should_fire(Site::ManifestGarble) {
+        let mut pos = faults.magnitude(Site::ManifestGarble, line.len() as u64 - 1) as usize;
+        while !line.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        let end = pos + line[pos..].chars().next().map_or(1, char::len_utf8);
+        line.replace_range(pos..end, "\u{fffd}");
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +218,42 @@ mod tests {
         assert!(parse_job_line(&d, "b.sir wat=1").is_err());
         assert!(parse_job_line(&d, "b.sir scheme=zzz").is_err());
         assert!(parse_job_line(&d, "missing.sir").is_err());
+    }
+
+    #[test]
+    fn rejects_overlong_lines_and_duplicate_attributes() {
+        let d = tmpdir();
+        std::fs::write(d.join("c.sir"), SIR).expect("write");
+        let long = format!("c.sir {}", "x".repeat(MAX_LINE_LEN));
+        let err = parse_job_line(&d, &long).expect_err("overlong line");
+        assert!(err.contains("too long"), "{err}");
+
+        let err = parse_job_line(&d, "c.sir steps=10 steps=20").expect_err("duplicate steps");
+        assert!(err.contains("duplicate attribute `steps`"), "{err}");
+        let err = parse_job_line(&d, "c.sir relax relax").expect_err("duplicate relax");
+        assert!(err.contains("duplicate attribute `relax`"), "{err}");
+        // distinct attributes still parse
+        assert!(parse_job_line(&d, "c.sir steps=10 relax").is_ok());
+    }
+
+    #[test]
+    fn chaos_line_mangles_deterministically_and_stays_parseable_shape() {
+        use slo_chaos::ChaosConfig;
+        let plan = || {
+            FaultPlan::with_config(
+                9,
+                ChaosConfig::never()
+                    .rate(Site::ManifestTruncate, 1024)
+                    .rate(Site::ManifestGarble, 1024),
+            )
+        };
+        let a = chaos_line("a.sir scheme=ispbo steps=100", &plan());
+        let b = chaos_line("a.sir scheme=ispbo steps=100", &plan());
+        assert_eq!(a, b, "mangling is a pure function of (seed, ordinal)");
+        assert_ne!(a, "a.sir scheme=ispbo steps=100");
+        assert!(a.len() <= "a.sir scheme=ispbo steps=100".len() + 2);
+        // disabled plan: identity
+        let c = chaos_line("a.sir", &FaultPlan::disabled());
+        assert_eq!(c, "a.sir");
     }
 }

@@ -20,11 +20,15 @@ pub struct ServiceMetrics {
     pub(crate) degraded_verification: AtomicU64,
     pub(crate) degraded_budget: AtomicU64,
     pub(crate) degraded_panic: AtomicU64,
+    pub(crate) degraded_fault: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) panics: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) quarantined: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) cache_misses: AtomicU64,
     pub(crate) cache_evictions: AtomicU64,
+    pub(crate) cache_reverified: AtomicU64,
     pub(crate) queue_wait_ns: AtomicU64,
     pub(crate) fe_ns: AtomicU64,
     pub(crate) ipa_ns: AtomicU64,
@@ -48,11 +52,16 @@ impl ServiceMetrics {
             degraded_verification: ld(&self.degraded_verification),
             degraded_budget: ld(&self.degraded_budget),
             degraded_panic: ld(&self.degraded_panic),
+            degraded_fault: ld(&self.degraded_fault),
             failed: ld(&self.failed),
             panics: ld(&self.panics),
+            retries: ld(&self.retries),
+            quarantined: ld(&self.quarantined),
             cache_hits: ld(&self.cache_hits),
             cache_misses: ld(&self.cache_misses),
             cache_evictions: ld(&self.cache_evictions),
+            cache_reverified: ld(&self.cache_reverified),
+            faults_injected: [0; slo_chaos::NUM_SITES],
             queue_wait_ns: ld(&self.queue_wait_ns),
             fe_ns: ld(&self.fe_ns),
             ipa_ns: ld(&self.ipa_ns),
@@ -79,16 +88,28 @@ pub struct MetricsSnapshot {
     pub degraded_budget: u64,
     /// Degradations attributed to a caught panic.
     pub degraded_panic: u64,
+    /// Degradations attributed to an injected fault (chaos campaigns).
+    pub degraded_fault: u64,
     /// Jobs that failed outright (unparseable input).
     pub failed: u64,
     /// Panics caught and contained (a subset of `degraded`).
     pub panics: u64,
+    /// Supervisor retries of transient job failures.
+    pub retries: u64,
+    /// Jobs quarantined after exhausting their retry budget.
+    pub quarantined: u64,
     /// Analysis-cache hits.
     pub cache_hits: u64,
     /// Analysis-cache misses.
     pub cache_misses: u64,
     /// Analysis-cache LRU evictions.
     pub cache_evictions: u64,
+    /// Cache entries dropped by fingerprint re-verification.
+    pub cache_reverified: u64,
+    /// Faults injected by the service's chaos plan, per
+    /// [`slo_chaos::Site`] (all zero outside chaos campaigns; indexed
+    /// like [`slo_chaos::ALL_SITES`]).
+    pub faults_injected: [u64; slo_chaos::NUM_SITES],
     /// Total time jobs waited in the queue (nanoseconds).
     pub queue_wait_ns: u64,
     /// Total FE phase time across jobs (nanoseconds; cached jobs add 0).
@@ -114,6 +135,13 @@ impl MetricsSnapshot {
     /// The difference `self - earlier`, for per-batch readings off a
     /// long-lived service.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut faults_injected = self.faults_injected;
+        for (slot, &e) in faults_injected
+            .iter_mut()
+            .zip(earlier.faults_injected.iter())
+        {
+            *slot -= e;
+        }
         MetricsSnapshot {
             jobs: self.jobs - earlier.jobs,
             optimized: self.optimized - earlier.optimized,
@@ -122,17 +150,27 @@ impl MetricsSnapshot {
             degraded_verification: self.degraded_verification - earlier.degraded_verification,
             degraded_budget: self.degraded_budget - earlier.degraded_budget,
             degraded_panic: self.degraded_panic - earlier.degraded_panic,
+            degraded_fault: self.degraded_fault - earlier.degraded_fault,
             failed: self.failed - earlier.failed,
             panics: self.panics - earlier.panics,
+            retries: self.retries - earlier.retries,
+            quarantined: self.quarantined - earlier.quarantined,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_reverified: self.cache_reverified - earlier.cache_reverified,
+            faults_injected,
             queue_wait_ns: self.queue_wait_ns - earlier.queue_wait_ns,
             fe_ns: self.fe_ns - earlier.fe_ns,
             ipa_ns: self.ipa_ns - earlier.ipa_ns,
             be_ns: self.be_ns - earlier.be_ns,
             exec_ns: self.exec_ns - earlier.exec_ns,
         }
+    }
+
+    /// Total injected faults across every site.
+    pub fn faults_injected_total(&self) -> u64 {
+        self.faults_injected.iter().sum()
     }
 
     /// A flat JSON object with every counter plus the derived hit rate
@@ -165,11 +203,20 @@ impl MetricsSnapshot {
         );
         num("degraded_budget", self.degraded_budget as f64, &mut s);
         num("degraded_panic", self.degraded_panic as f64, &mut s);
+        num("degraded_fault", self.degraded_fault as f64, &mut s);
         num("failed", self.failed as f64, &mut s);
         num("panics", self.panics as f64, &mut s);
+        num("retries", self.retries as f64, &mut s);
+        num("quarantined", self.quarantined as f64, &mut s);
+        num(
+            "faults_injected",
+            self.faults_injected_total() as f64,
+            &mut s,
+        );
         num("cache_hits", self.cache_hits as f64, &mut s);
         num("cache_misses", self.cache_misses as f64, &mut s);
         num("cache_evictions", self.cache_evictions as f64, &mut s);
+        num("cache_reverified", self.cache_reverified as f64, &mut s);
         num("cache_hit_rate", self.cache_hit_rate(), &mut s);
         num("queue_wait_ns", self.queue_wait_ns as f64, &mut s);
         num("fe_ns", self.fe_ns as f64, &mut s);
@@ -202,9 +249,16 @@ impl MetricsSnapshot {
              slo_jobs_degraded_total{{reason=\"verification\"}} {}\n\
              slo_jobs_degraded_total{{reason=\"budget\"}} {}\n\
              slo_jobs_degraded_total{{reason=\"panic\"}} {}\n\
+             slo_jobs_degraded_total{{reason=\"fault\"}} {}\n\
              # HELP slo_panics_total Panics caught and contained.\n\
              # TYPE slo_panics_total counter\n\
-             slo_panics_total {}\n",
+             slo_panics_total {}\n\
+             # HELP slo_retries_total Supervisor retries of transient job failures.\n\
+             # TYPE slo_retries_total counter\n\
+             slo_retries_total {}\n\
+             # HELP slo_quarantined_total Jobs quarantined after exhausting retries.\n\
+             # TYPE slo_quarantined_total counter\n\
+             slo_quarantined_total {}\n",
             self.jobs,
             self.optimized,
             self.degraded,
@@ -213,8 +267,23 @@ impl MetricsSnapshot {
             self.degraded_verification,
             self.degraded_budget,
             self.degraded_panic,
+            self.degraded_fault,
             self.panics,
+            self.retries,
+            self.quarantined,
         );
+        let _ = writeln!(
+            s,
+            "# HELP slo_faults_injected_total Faults injected by the chaos plan, by site.\n\
+             # TYPE slo_faults_injected_total counter"
+        );
+        for (site, count) in slo_chaos::ALL_SITES.iter().zip(self.faults_injected.iter()) {
+            let _ = writeln!(
+                s,
+                "slo_faults_injected_total{{site=\"{}\"}} {count}",
+                site.name()
+            );
+        }
         let _ = write!(
             s,
             "# HELP slo_cache_events_total Analysis-cache events.\n\
@@ -222,6 +291,7 @@ impl MetricsSnapshot {
              slo_cache_events_total{{event=\"hit\"}} {}\n\
              slo_cache_events_total{{event=\"miss\"}} {}\n\
              slo_cache_events_total{{event=\"eviction\"}} {}\n\
+             slo_cache_events_total{{event=\"reverified\"}} {}\n\
              # HELP slo_cache_hit_rate Analysis-cache hit rate in [0, 1].\n\
              # TYPE slo_cache_hit_rate gauge\n\
              slo_cache_hit_rate {}\n\
@@ -235,6 +305,7 @@ impl MetricsSnapshot {
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
+            self.cache_reverified,
             self.cache_hit_rate(),
             secs(self.queue_wait_ns),
             secs(self.fe_ns),
@@ -280,6 +351,8 @@ mod tests {
 
     #[test]
     fn prometheus_exposition_is_conformant() {
+        let mut faults_injected = [0u64; slo_chaos::NUM_SITES];
+        faults_injected[slo_chaos::Site::VmAlloc as usize] = 4;
         let m = MetricsSnapshot {
             jobs: 5,
             optimized: 3,
@@ -287,8 +360,12 @@ mod tests {
             degraded_budget: 1,
             degraded_panic: 1,
             panics: 1,
+            retries: 3,
+            quarantined: 1,
             cache_hits: 2,
             cache_misses: 2,
+            cache_reverified: 1,
+            faults_injected,
             fe_ns: 1_500_000,
             ..Default::default()
         };
@@ -299,6 +376,9 @@ mod tests {
             "slo_jobs_by_status_total",
             "slo_jobs_degraded_total",
             "slo_panics_total",
+            "slo_retries_total",
+            "slo_quarantined_total",
+            "slo_faults_injected_total",
             "slo_cache_events_total",
             "slo_cache_hit_rate",
             "slo_phase_seconds_total",
@@ -306,6 +386,11 @@ mod tests {
             assert!(s.has(family), "missing family {family}");
         }
         assert!(text.contains("slo_jobs_degraded_total{reason=\"budget\"} 1"));
+        assert!(text.contains("slo_jobs_degraded_total{reason=\"fault\"} 0"));
+        assert!(text.contains("slo_retries_total 3"));
+        assert!(text.contains("slo_quarantined_total 1"));
+        assert!(text.contains("slo_faults_injected_total{site=\"vm-alloc\"} 4"));
+        assert!(text.contains("slo_cache_events_total{event=\"reverified\"} 1"));
         assert!(text.contains("slo_cache_hit_rate 0.5"));
     }
 

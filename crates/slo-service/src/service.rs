@@ -6,21 +6,36 @@
 //! isolation and a graceful-degradation ladder:
 //!
 //! 1. full pipeline + differential verification + evaluation,
-//! 2. on a BE failure, verification mismatch, exhausted budget or a
-//!    caught panic → advisory-only output (the §3 report, when the
-//!    analysis got far enough),
+//! 2. on a BE failure, verification mismatch, exhausted budget, a
+//!    caught panic or an injected fault → advisory-only output (the §3
+//!    report, when the analysis got far enough),
 //! 3. on unusable input → a `Failed` outcome.
 //!
 //! A batch never aborts because one job went wrong.
+//!
+//! # Supervision
+//!
+//! Every job runs under a supervisor: an outcome classified *transient*
+//! (caught panic, exhausted budget, injected fault) is retried with a
+//! bounded deterministic exponential backoff from the service's
+//! [`RetryPolicy`], sleeping on its [`Clock`] — a virtual clock in
+//! tests and chaos campaigns, so nothing actually blocks. *Deterministic*
+//! failures (unparseable input, transform/verification verdicts) are
+//! never retried: rerunning a legality analysis cannot change its
+//! answer. A job whose attempts are all transient failures is
+//! quarantined — its last advisory outcome is still returned, with
+//! [`JobOutcome::quarantined`] set, so quarantine never moves a job
+//! down the degradation ladder.
 
-use crate::cache::AnalysisCache;
+use crate::cache::{AnalysisCache, Lookup};
 use crate::job::{
     Degradation, Fault, Job, JobInput, JobMetrics, JobOutcome, JobStatus, Optimized, SchemeSpec,
 };
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::pool::par_map_bounded;
+use crate::pool::par_map_supervised;
 use slo::analysis::{ipa_fingerprint, WeightScheme};
 use slo::{Analysis, Evaluation};
+use slo_chaos::{fnv1a, Clock, FaultPlan, RetryPolicy};
 use slo_ir::{printer::print_program, Program};
 use slo_vm::{ExecError, Feedback, VmOptions};
 use std::cell::RefCell;
@@ -88,6 +103,9 @@ pub struct Service {
     cache: Mutex<AnalysisCache>,
     metrics: ServiceMetrics,
     trace: slo_obs::Recorder,
+    chaos: FaultPlan,
+    retry: RetryPolicy,
+    clock: Clock,
 }
 
 impl Service {
@@ -100,12 +118,46 @@ impl Service {
     /// pipeline phase and VM spans underneath) into `trace`.
     /// `ServiceConfig` stays `Copy`, so the recorder rides separately.
     pub fn with_trace(cfg: ServiceConfig, trace: slo_obs::Recorder) -> Service {
+        Service::with_chaos(
+            cfg,
+            trace,
+            FaultPlan::disabled(),
+            RetryPolicy::default(),
+            Clock::Real,
+        )
+    }
+
+    /// The fully explicit constructor: a fault plan threaded through
+    /// the VM, cache and pool, a retry policy for the supervisor, and
+    /// the clock it sleeps on. `Service::new` is this with a disabled
+    /// plan, the default policy and the real clock.
+    pub fn with_chaos(
+        cfg: ServiceConfig,
+        trace: slo_obs::Recorder,
+        chaos: FaultPlan,
+        retry: RetryPolicy,
+        clock: Clock,
+    ) -> Service {
         Service {
             cache: Mutex::new(AnalysisCache::new(cfg.cache_capacity)),
             metrics: ServiceMetrics::default(),
             cfg,
             trace,
+            chaos,
+            retry,
+            clock,
         }
+    }
+
+    /// The fault plan threaded through this service (disabled unless
+    /// built with [`Service::with_chaos`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.chaos
+    }
+
+    /// The supervisor's retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The configuration this service was built with.
@@ -119,34 +171,112 @@ impl Service {
         &self.trace
     }
 
-    /// A point-in-time copy of the service counters.
+    /// A point-in-time copy of the service counters (including the
+    /// fault plan's per-site injection totals).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.faults_injected = self.chaos.injected_by_site();
+        snap
     }
 
     /// Run a batch: shard `jobs` across the worker pool and return one
-    /// outcome per job, in submission order.
+    /// outcome per job, in submission order. Worker threads killed by
+    /// the chaos plan's pool site orphan their jobs to the supervising
+    /// caller thread, so every job still completes.
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<JobOutcome> {
         let submitted = Instant::now();
-        par_map_bounded(self.cfg.workers, jobs, |job| self.run_job(job, submitted))
+        par_map_supervised(self.cfg.workers, jobs, &self.chaos, |job| {
+            self.run_job(job, submitted)
+        })
     }
 
-    /// Run one job to completion (used by `run_batch` and by the
-    /// line-at-a-time `slo serve` front end). `submitted` is when the
-    /// job entered the queue; the gap to pickup is reported as queue
-    /// wait.
+    /// Run one job under supervision (used by `run_batch` and by the
+    /// line-at-a-time `slo serve` front end): transient failures are
+    /// retried with deterministic backoff, deterministic failures
+    /// return immediately, and a job that stays transient through its
+    /// whole retry budget is quarantined. `submitted` is when the job
+    /// entered the queue; the gap to pickup is reported as queue wait.
     pub fn run_job(&self, job: &Job, submitted: Instant) -> JobOutcome {
+        let started = Instant::now();
         let mut span = self.trace.span("service", format!("job:{}", job.id));
-        let outcome = self.run_job_inner(job, submitted);
+        // Per-job backoff seed: distinct jobs never thunder in
+        // lockstep, and reruns of a batch replay the same schedule.
+        let mut schedule = self.retry.schedule(fnv1a(job.id.as_bytes()));
+        let mut attempts: u32 = 1;
+        let mut quarantined = false;
+        let mut acc = JobMetrics::default();
+        let (status, jm) = loop {
+            let (status, jm) = self.attempt_job(job, submitted);
+            acc.fe += jm.fe;
+            acc.ipa += jm.ipa;
+            acc.be += jm.be;
+            acc.exec += jm.exec;
+            let transient = matches!(
+                &status,
+                JobStatus::Advisory { reason, .. } if reason.is_transient()
+            );
+            if !transient {
+                break (status, jm);
+            }
+            match schedule.next_delay_ms() {
+                Some(delay_ms) => {
+                    self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    self.trace.instant(
+                        "service",
+                        "retry",
+                        vec![
+                            ("job", job.id.as_str().into()),
+                            ("attempt", i64::from(attempts).into()),
+                            ("backoff_ms", (delay_ms as i64).into()),
+                        ],
+                    );
+                    self.clock.sleep_ms(delay_ms);
+                    attempts += 1;
+                }
+                None => {
+                    // `max_attempts` transient failures: quarantine.
+                    // The last advisory outcome is still returned —
+                    // quarantine never demotes a job to `Failed`.
+                    quarantined = true;
+                    self.metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.trace.instant(
+                        "service",
+                        "quarantine",
+                        vec![
+                            ("job", job.id.as_str().into()),
+                            ("attempts", i64::from(attempts).into()),
+                        ],
+                    );
+                    break (status, jm);
+                }
+            }
+        };
+        // Fold the per-attempt phase costs back in; queue wait and
+        // cache attribution come from the final attempt.
+        let jm = JobMetrics {
+            fe: acc.fe,
+            ipa: acc.ipa,
+            be: acc.be,
+            exec: acc.exec,
+            total: started.elapsed(),
+            ..jm
+        };
+        let outcome = self.finish(job, status, jm, attempts, quarantined);
         span.arg("status", outcome.status.kind());
         if let JobStatus::Advisory { reason, .. } = &outcome.status {
             span.arg("reason", reason.kind());
         }
         span.arg("cache_hit", outcome.metrics.cache_hit);
+        span.arg("attempts", i64::from(outcome.attempts));
+        if outcome.quarantined {
+            span.arg("quarantined", true);
+        }
         outcome
     }
 
-    fn run_job_inner(&self, job: &Job, submitted: Instant) -> JobOutcome {
+    /// One attempt: parse, analyze, transform, verify — panic-isolated,
+    /// with no retry logic of its own.
+    fn attempt_job(&self, job: &Job, submitted: Instant) -> (JobStatus, JobMetrics) {
         let start = Instant::now();
         let mut jm = JobMetrics {
             queue_wait: start.duration_since(submitted),
@@ -159,7 +289,7 @@ impl Service {
             Ok(p) => p,
             Err(msg) => {
                 jm.total = start.elapsed();
-                return self.finish(job, JobStatus::Failed(msg), jm);
+                return (JobStatus::Failed(msg), jm);
             }
         };
 
@@ -186,7 +316,7 @@ impl Service {
         };
         let mut jm = jm_cell.into_inner();
         jm.total = start.elapsed();
-        self.finish(job, status, jm)
+        (status, jm)
     }
 
     fn load_input(&self, input: &JobInput) -> Result<Program, String> {
@@ -225,6 +355,7 @@ impl Service {
                     .sample_dcache(true)
                     .step_limit(job.budget.steps)
                     .trace(self.trace.clone())
+                    .faults(self.chaos.clone())
                     .build();
                 let t = Instant::now();
                 let run = {
@@ -240,6 +371,12 @@ impl Service {
                             reason: Degradation::Budget(
                                 "profile collection exceeded the step budget".into(),
                             ),
+                            report: None,
+                        }
+                    }
+                    Err(ExecError::Injected(what)) => {
+                        return JobStatus::Advisory {
+                            reason: Degradation::Fault(format!("profiling run: {what}")),
                             report: None,
                         }
                     }
@@ -269,9 +406,18 @@ impl Service {
 
         // --- FE + IPA, memoized by content hash ----------------------
         let key = slo::analysis_cache_key(prog, &scheme, &job.config);
-        let cached = self.cache.lock().expect("cache lock").get(key);
+        let cached = self.cache.lock().expect("cache lock").get_checked(key);
+        if matches!(cached, Lookup::Corrupt) {
+            // A poisoned entry failed fingerprint re-verification: it
+            // has been dropped; recompute below as on a plain miss.
+            self.trace.instant(
+                "service",
+                "cache-reverify",
+                vec![("job", job.id.as_str().into())],
+            );
+        }
         let analysis = match cached {
-            Some(a) => {
+            Lookup::Hit(a) => {
                 self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 self.trace.instant(
                     "service",
@@ -281,7 +427,7 @@ impl Service {
                 jm.borrow_mut().cache_hit = true;
                 a
             }
-            None => {
+            Lookup::Corrupt | Lookup::Miss => {
                 self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let a = Arc::new(slo::analyze_with(prog, &scheme, &job.config, &self.trace));
                 {
@@ -289,10 +435,11 @@ impl Service {
                     m.fe = a.fe;
                     m.ipa = a.ipa_time;
                 }
-                self.cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(key, Arc::clone(&a));
+                self.cache.lock().expect("cache lock").insert_chaotic(
+                    key,
+                    Arc::clone(&a),
+                    &self.chaos,
+                );
                 a
             }
         };
@@ -326,6 +473,7 @@ impl Service {
         let opts = VmOptions::builder()
             .step_limit(job.budget.steps)
             .trace(self.trace.clone())
+            .faults(self.chaos.clone())
             .build();
         let degrade = |reason: Degradation| JobStatus::Advisory {
             reason,
@@ -340,6 +488,9 @@ impl Service {
                 return degrade(Degradation::Budget(
                     "baseline run exceeded the step budget".into(),
                 ))
+            }
+            Err(ExecError::Injected(what)) => {
+                return degrade(Degradation::Fault(format!("baseline run: {what}")))
             }
             Err(e) => {
                 return degrade(Degradation::Verification(format!(
@@ -359,6 +510,9 @@ impl Service {
                 return degrade(Degradation::Budget(
                     "transformed run exceeded the step budget".into(),
                 ))
+            }
+            Err(ExecError::Injected(what)) => {
+                return degrade(Degradation::Fault(format!("transformed run: {what}")))
             }
             Err(e) => {
                 return degrade(Degradation::Verification(format!(
@@ -387,7 +541,14 @@ impl Service {
     }
 
     /// Tally counters and assemble the outcome.
-    fn finish(&self, job: &Job, status: JobStatus, jm: JobMetrics) -> JobOutcome {
+    fn finish(
+        &self,
+        job: &Job,
+        status: JobStatus,
+        jm: JobMetrics,
+        attempts: u32,
+        quarantined: bool,
+    ) -> JobOutcome {
         self.metrics.jobs.fetch_add(1, Ordering::Relaxed);
         let slot = match &status {
             JobStatus::Optimized(_) => &self.metrics.optimized,
@@ -401,6 +562,7 @@ impl Service {
                 Degradation::Verification(_) => &self.metrics.degraded_verification,
                 Degradation::Budget(_) => &self.metrics.degraded_budget,
                 Degradation::Panic(_) => &self.metrics.degraded_panic,
+                Degradation::Fault(_) => &self.metrics.degraded_fault,
             };
             slot.fetch_add(1, Ordering::Relaxed);
         }
@@ -410,16 +572,22 @@ impl Service {
         ServiceMetrics::add_duration(&self.metrics.be_ns, jm.be);
         ServiceMetrics::add_duration(&self.metrics.exec_ns, jm.exec);
         if let Ok(c) = self.cache.lock() {
-            // Evictions are bookkept inside the cache; mirror them into
-            // the exported counters (hits/misses are tallied directly).
+            // Evictions and re-verification drops are bookkept inside
+            // the cache; mirror them into the exported counters
+            // (hits/misses are tallied directly).
             self.metrics
                 .cache_evictions
                 .store(c.counters().2, Ordering::Relaxed);
+            self.metrics
+                .cache_reverified
+                .store(c.corrupt_drops(), Ordering::Relaxed);
         }
         JobOutcome {
             id: job.id.clone(),
             status,
             metrics: jm,
+            attempts,
+            quarantined,
         }
     }
 }

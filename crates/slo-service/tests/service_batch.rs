@@ -226,8 +226,22 @@ fn panicking_job_degrades_without_failing_the_batch() {
         }
         other => panic!("expected panic advisory, got {}", other.kind()),
     }
-    assert_eq!(svc.metrics().panics, 2);
+    // Panics are transient: the supervisor retried each panicking job
+    // to quarantine (default policy = 3 attempts), so the raw panic
+    // counter sees every attempt while the outcome ladder sees one
+    // advisory per job.
+    assert_eq!(svc.metrics().panics, 6);
     assert_eq!(svc.metrics().degraded, 2);
+    assert_eq!(svc.metrics().retries, 4);
+    assert_eq!(svc.metrics().quarantined, 2);
+    for id in ["boom-early", "boom-late"] {
+        assert_eq!(by_id(id).attempts, 3);
+        assert!(by_id(id).quarantined);
+    }
+    for id in ["ok1", "ok2"] {
+        assert_eq!(by_id(id).attempts, 1);
+        assert!(!by_id(id).quarantined);
+    }
 }
 
 #[test]
@@ -392,4 +406,127 @@ fn repeat_jobs_rerun_with_identical_fingerprints() {
         assert_eq!(digest(a), digest(b), "rerun changed the outcome");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- chaos & supervision -------------------------------------------------
+
+use slo_service::{ChaosConfig, Clock, FaultPlan, RetryPolicy, Site};
+
+fn chaos_service(workers: usize, plan: FaultPlan, retry: RetryPolicy, clock: Clock) -> Service {
+    Service::with_chaos(
+        ServiceConfig::builder()
+            .workers(workers)
+            .cache_capacity(64)
+            .build(),
+        slo_obs::Recorder::disabled(),
+        plan,
+        retry,
+        clock,
+    )
+}
+
+/// Regression pin for the step-budget boundary: the SAMPLE baseline and
+/// its ISPBO-transformed form both execute exactly 525 instructions, so
+/// a budget of exactly 525 must complete — a limit of N admits N
+/// instructions, not N-1.
+#[test]
+fn job_landing_exactly_on_the_step_limit_completes() {
+    // Establish the exact count with an unlimited budget.
+    let svc = service(1, 0);
+    let [free] = &svc.run_batch(&[Job::from_source("free", SAMPLE)])[..] else {
+        panic!("one outcome");
+    };
+    let opt = expect_optimized(free);
+    assert_eq!(
+        opt.eval.baseline_instructions,
+        opt.eval.optimized_instructions
+    );
+    let exact = opt.eval.baseline_instructions;
+
+    let svc = service(1, 0);
+    let outcomes = svc.run_batch(&[
+        Job::from_source("exact", SAMPLE).budget(Budget::steps(exact)),
+        Job::from_source("one-short", SAMPLE).budget(Budget::steps(exact - 1)),
+    ]);
+    expect_optimized(&outcomes[0]);
+    assert_eq!(outcomes[0].attempts, 1, "no retries on a clean run");
+    match &outcomes[1].status {
+        JobStatus::Advisory {
+            reason: Degradation::Budget(_),
+            ..
+        } => {}
+        other => panic!(
+            "expected budget advisory one step short, got {}",
+            other.kind()
+        ),
+    }
+}
+
+/// A job whose every attempt dies on an injected fault is retried
+/// exactly `max_attempts` times on the virtual clock (no real sleeping)
+/// and then quarantined — still as an advisory, never a failure.
+#[test]
+fn quarantine_after_exactly_max_attempts_transient_failures() {
+    let always_alloc = FaultPlan::with_config(7, ChaosConfig::never().rate(Site::VmAlloc, 1024));
+    let clock = Clock::virtual_clock();
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_delay_ms: 10,
+        max_delay_ms: 1000,
+    };
+    let svc = chaos_service(1, always_alloc, policy, clock.clone());
+    let [o] = &svc.run_batch(&[Job::from_source("doomed", SAMPLE)])[..] else {
+        panic!("one outcome");
+    };
+    match &o.status {
+        JobStatus::Advisory {
+            reason: Degradation::Fault(msg),
+            ..
+        } => assert!(msg.contains("heap allocation refused"), "{msg}"),
+        other => panic!("expected fault advisory, got {}", other.kind()),
+    }
+    assert_eq!(o.attempts, 4, "one initial attempt + three retries");
+    assert!(o.quarantined);
+    let m = svc.metrics();
+    assert_eq!(m.retries, 3);
+    assert_eq!(m.quarantined, 1);
+    assert_eq!(m.degraded_fault, 1, "ladder sees one advisory, not four");
+    assert!(m.faults_injected_total() >= 4, "every attempt hit the site");
+    assert!(
+        clock.now_ms() >= 30,
+        "backoff slept on the virtual clock: {}ms",
+        clock.now_ms()
+    );
+}
+
+/// The ladder invariant under a seeded campaign: faults only ever move
+/// outcomes *down* (Optimized -> Advisory), never to Failed, and an
+/// outcome that stays Optimized is bit-identical to the fault-free run.
+#[test]
+fn seeded_chaos_never_breaks_the_ladder_or_the_bits() {
+    let jobs: Vec<Job> = (0..12)
+        .map(|i| Job::from_source(format!("j{i}"), SAMPLE))
+        .collect();
+    let reference: Vec<String> = service(2, 64).run_batch(&jobs).iter().map(digest).collect();
+
+    for seed in 0..4u64 {
+        let svc = chaos_service(
+            2,
+            FaultPlan::seeded(seed),
+            RetryPolicy::no_retries(),
+            Clock::virtual_clock(),
+        );
+        let outcomes = svc.run_batch(&jobs);
+        for (o, want) in outcomes.iter().zip(&reference) {
+            match &o.status {
+                JobStatus::Optimized(_) => {
+                    assert_eq!(&digest(o), want, "seed {seed}: optimized bits changed");
+                }
+                JobStatus::Advisory { .. } => {} // moved down the ladder: fine
+                JobStatus::Failed(msg) => {
+                    panic!("seed {seed}: parseable input must never fail: {msg}")
+                }
+            }
+        }
+    }
 }

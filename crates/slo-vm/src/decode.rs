@@ -976,7 +976,7 @@ impl<'p> DecVm<'p> {
         // pin `self` for the duration of the loop.
         let dec: &'p DecodedProgram = self.dec;
         let base_cost = self.opts.cost.base;
-        let step_limit = self.opts.step_limit;
+        let step_limit = self.opts.effective_step_limit();
         // Sampled tracing: with the recorder disabled the sentinel is
         // u64::MAX and the per-instruction cost is one compare that
         // never fires (step_limit aborts the run long before).
@@ -1222,6 +1222,9 @@ impl<'p> DecVm<'p> {
                         count,
                         zeroed,
                     } => {
+                        if self.opts.faults.should_fire(slo_chaos::Site::VmAlloc) {
+                            return Err(ExecError::Injected("heap allocation refused"));
+                        }
                         let n = operand(&frame.regs, *count).as_int().max(0) as u64;
                         let bytes = n * elem_size;
                         let a = self.heap.alloc(bytes);

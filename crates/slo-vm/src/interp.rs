@@ -58,6 +58,11 @@ pub struct VmOptions {
     /// Steps between sampled counter events when `trace` is enabled —
     /// sampling keeps a 100M-instruction traced run bounded.
     pub trace_step_interval: u64,
+    /// Fault-injection plan. The default (disabled) plan costs one
+    /// branch at each site; an enabled plan can refuse heap
+    /// allocations ([`ExecError::Injected`]) and jitter the effective
+    /// step limit downward at run start.
+    pub faults: slo_chaos::FaultPlan,
 }
 
 impl Default for VmOptions {
@@ -73,6 +78,7 @@ impl Default for VmOptions {
             engine: Engine::default(),
             trace: slo_obs::Recorder::disabled(),
             trace_step_interval: 1_000_000,
+            faults: slo_chaos::FaultPlan::disabled(),
         }
     }
 }
@@ -114,6 +120,24 @@ impl VmOptions {
     pub fn builder() -> VmOptionsBuilder {
         VmOptionsBuilder {
             opts: Self::default(),
+        }
+    }
+
+    /// The step limit this run actually gets: the configured
+    /// [`step_limit`], shaved by up to half when the fault plan's
+    /// step-jitter site fires. Queried once per run by both engines;
+    /// jitter only ever *lowers* the limit, so a disabled plan
+    /// preserves the exact `==limit` completion boundary.
+    ///
+    /// [`step_limit`]: VmOptions::step_limit
+    pub fn effective_step_limit(&self) -> u64 {
+        if self.faults.should_fire(slo_chaos::Site::VmStepJitter) {
+            let shave = self
+                .faults
+                .magnitude(slo_chaos::Site::VmStepJitter, self.step_limit / 2);
+            self.step_limit - shave
+        } else {
+            self.step_limit
         }
     }
 }
@@ -185,6 +209,13 @@ impl VmOptionsBuilder {
         self
     }
 
+    /// Attach a fault-injection plan (disabled plans cost one branch
+    /// per site).
+    pub fn faults(mut self, plan: slo_chaos::FaultPlan) -> Self {
+        self.opts.faults = plan;
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> VmOptions {
         self.opts
@@ -247,6 +278,9 @@ pub enum ExecError {
     NotDefined(String),
     /// An indirect call through a non-function value.
     BadIndirectTarget,
+    /// A fault injected by an enabled [`slo_chaos::FaultPlan`] (chaos
+    /// campaigns only; never raised with the default disabled plan).
+    Injected(&'static str),
 }
 
 impl fmt::Display for ExecError {
@@ -261,6 +295,7 @@ impl fmt::Display for ExecError {
             ExecError::NoMain => write!(f, "program has no `main` function"),
             ExecError::NotDefined(n) => write!(f, "function `{n}` has no body"),
             ExecError::BadIndirectTarget => write!(f, "indirect call target is not a function"),
+            ExecError::Injected(what) => write!(f, "injected fault: {what}"),
         }
     }
 }
@@ -485,6 +520,7 @@ impl<'p> Vm<'p> {
         let mut stack: Vec<Frame> = Vec::new();
         self.push_frame(&mut stack, entry, args, None)?;
         let mut last_ret = Value::Int(0);
+        let step_limit = self.opts.effective_step_limit();
 
         'outer: while let Some(frame) = stack.last_mut() {
             let fid = frame.fid;
@@ -493,7 +529,7 @@ impl<'p> Vm<'p> {
 
             // Execute instructions of the current block from frame.idx.
             while frame.idx < block.instrs.len() {
-                if self.stats.instructions >= self.opts.step_limit {
+                if self.stats.instructions >= step_limit {
                     return Err(ExecError::StepLimit);
                 }
                 self.stats.instructions += 1;
@@ -644,6 +680,9 @@ impl<'p> Vm<'p> {
                         count,
                         zeroed,
                     } => {
+                        if self.opts.faults.should_fire(slo_chaos::Site::VmAlloc) {
+                            return Err(ExecError::Injected("heap allocation refused"));
+                        }
                         let n = self.operand(frame, *count).as_int().max(0) as u64;
                         let bytes = n * self.prog.types.size_of(*elem);
                         let a = self.heap.alloc(bytes);
@@ -1244,6 +1283,65 @@ bb3:
             };
             assert!(run(&p, &opts).is_ok(), "{engine:?} should finish");
         }
+    }
+
+    #[test]
+    fn injected_alloc_failure_is_deterministic_per_engine() {
+        let src = r#"
+record r { a: i64, b: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc r, 4
+  ret 0
+}
+"#;
+        let p = parse(src).expect("parse");
+        for engine in [Engine::Decoded, Engine::Structured] {
+            // A plan firing on every query refuses the first allocation.
+            let opts = VmOptions::builder()
+                .engine(engine)
+                .faults(slo_chaos::FaultPlan::with_config(
+                    1,
+                    slo_chaos::ChaosConfig::always(),
+                ))
+                .build();
+            match run(&p, &opts) {
+                Err(ExecError::Injected(_)) => {}
+                other => panic!("{engine:?}: expected injected fault, got {other:?}"),
+            }
+            assert_eq!(opts.faults.injected(slo_chaos::Site::VmAlloc), 1);
+            // A disabled plan never interferes.
+            let opts = VmOptions::builder().engine(engine).build();
+            assert!(run(&p, &opts).is_ok());
+        }
+    }
+
+    #[test]
+    fn step_jitter_only_lowers_the_limit() {
+        let opts = VmOptions::builder()
+            .step_limit(1_000)
+            .faults(slo_chaos::FaultPlan::with_config(
+                7,
+                slo_chaos::ChaosConfig::always(),
+            ))
+            .build();
+        for _ in 0..64 {
+            let eff = opts.effective_step_limit();
+            assert!(eff <= 1_000, "jitter must never raise the limit");
+            assert!(eff >= 500, "jitter shaves at most half the budget");
+        }
+        // Disabled and silent plans leave the exact limit intact, so
+        // the ==limit completion boundary is preserved.
+        let plain = VmOptions::builder().step_limit(1_000).build();
+        assert_eq!(plain.effective_step_limit(), 1_000);
+        let silent = VmOptions::builder()
+            .step_limit(1_000)
+            .faults(slo_chaos::FaultPlan::with_config(
+                7,
+                slo_chaos::ChaosConfig::never(),
+            ))
+            .build();
+        assert_eq!(silent.effective_step_limit(), 1_000);
     }
 
     #[test]

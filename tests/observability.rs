@@ -210,3 +210,52 @@ fn service_trace_attributes_jobs_and_cache_hits() {
     assert!(summary.has("job:attr-a"), "per-job span missing");
     assert!(summary.has("cache-hit"), "cache-hit instant missing");
 }
+
+/// Every chaos fault path is visible end to end: a campaign service's
+/// Prometheus exposition carries the retry/quarantine/fault-site
+/// families (still line-by-line conformant), and its trace carries the
+/// supervisor's retry and quarantine instants.
+#[test]
+fn chaos_fault_paths_are_visible_in_prometheus_and_traces() {
+    use slo_service::{ChaosConfig, Clock, FaultPlan, RetryPolicy, Site};
+
+    let rec = Recorder::enabled();
+    let service = Service::with_chaos(
+        ServiceConfig::builder().workers(1).build(),
+        rec.clone(),
+        FaultPlan::with_config(3, ChaosConfig::never().rate(Site::VmAlloc, 1024)),
+        RetryPolicy::default(),
+        Clock::virtual_clock(),
+    );
+    service.run_batch(&[Job::from_program("chaos-a", sample_program())]);
+
+    let text = service.metrics().to_prometheus();
+    let summary = check_prometheus(&text).expect("conformant exposition");
+    for family in [
+        "slo_retries_total",
+        "slo_quarantined_total",
+        "slo_faults_injected_total",
+    ] {
+        assert!(summary.has(family), "missing family `{family}`");
+    }
+    assert!(text.contains(r#"slo_jobs_degraded_total{reason="fault"} 1"#));
+    assert!(text.contains("slo_retries_total 2"), "{text}");
+    assert!(text.contains("slo_quarantined_total 1"), "{text}");
+    assert!(
+        text.contains(r#"slo_faults_injected_total{site="vm-alloc"} 3"#),
+        "one injection per attempt:\n{text}"
+    );
+    assert!(
+        text.contains(r#"slo_cache_events_total{event="reverified"} 0"#),
+        "re-verification counter exported even when quiet:\n{text}"
+    );
+
+    let events = rec.events();
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"retry"), "retry instants traced: {names:?}");
+    assert!(
+        names.contains(&"quarantine"),
+        "quarantine instant traced: {names:?}"
+    );
+    check_chrome_trace(&rec.to_chrome_json()).expect("chaos trace conforms");
+}
