@@ -620,6 +620,118 @@ pub fn record_chaos(stats: ChaosStats) {
     }
 }
 
+/// The socket-chaos campaign's tallies for the trajectory file.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosStats {
+    /// Campaign seeds swept.
+    pub seeds: usize,
+    /// Job lines sent per seed.
+    pub jobs_per_seed: usize,
+    /// Ladder violations over the wire (optimized bits changed, or a
+    /// valid line answered `failed`/non-transient `error`).
+    pub violations: usize,
+    /// Connections rejected at accept (accept-storm site + busy).
+    pub rejected: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Server-side injected disconnects observed.
+    pub disconnects: u64,
+    /// Slow-loris closes observed.
+    pub slow_closes: u64,
+    /// Client-side retries needed to land every job.
+    pub client_retries: u64,
+}
+
+/// Merge the socket-chaos tallies into `BENCH_vm.json` under
+/// `chaos.net`. Call AFTER [`record_chaos`] (which replaces the whole
+/// `chaos` object) and only when the driver saw `--json`.
+pub fn record_chaos_net(stats: NetChaosStats) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let mut entry = Json::object();
+    entry.set("seeds", Json::Num(stats.seeds as f64));
+    entry.set("jobs_per_seed", Json::Num(stats.jobs_per_seed as f64));
+    entry.set("violations", Json::Num(stats.violations as f64));
+    entry.set("rejected", Json::Num(stats.rejected as f64));
+    entry.set("shed", Json::Num(stats.shed as f64));
+    entry.set("disconnects", Json::Num(stats.disconnects as f64));
+    entry.set("slow_closes", Json::Num(stats.slow_closes as f64));
+    entry.set("client_retries", Json::Num(stats.client_retries as f64));
+    root.entry_object("chaos").set("net", entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] chaos.net: {} seed(s) x {} lines, {} shed, {} disconnect(s), {} violation(s) -> {}",
+            stats.seeds,
+            stats.jobs_per_seed,
+            stats.shed,
+            stats.disconnects,
+            stats.violations,
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// The TCP load driver's tallies for the trajectory file.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadStats {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests completed (optimized/advisory replies).
+    pub completed: usize,
+    /// Requests shed with a `retry_after_ms` hint.
+    pub sheds: usize,
+    /// sheds / (completed + sheds).
+    pub shed_rate: f64,
+    /// Median reply latency over completed requests, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile reply latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Whole-run wall clock, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Merge the load driver's tallies into `BENCH_vm.json` under `load`.
+/// Call only when the driver saw `--json`.
+pub fn record_load(stats: LoadStats) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let mut entry = Json::object();
+    entry.set("clients", Json::Num(stats.clients as f64));
+    entry.set("completed", Json::Num(stats.completed as f64));
+    entry.set("sheds", Json::Num(stats.sheds as f64));
+    entry.set("shed_rate", Json::Num(stats.shed_rate));
+    entry.set("p50_ms", Json::Num(stats.p50_ms));
+    entry.set("p99_ms", Json::Num(stats.p99_ms));
+    entry.set("throughput_rps", Json::Num(stats.throughput_rps));
+    entry.set("wall_seconds", Json::Num(stats.wall_seconds));
+    root.set("load", entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] load: {} client(s), {} completed, shed rate {:.1}%, p50 {:.2} ms, p99 {:.2} ms -> {}",
+            stats.clients,
+            stats.completed,
+            100.0 * stats.shed_rate,
+            stats.p50_ms,
+            stats.p99_ms,
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Whether `--json` is among the process arguments (and strip it from a
 /// caller-collected arg list so positional parsing stays simple).
 pub fn json_flag(args: &mut Vec<String>) -> bool {

@@ -57,10 +57,21 @@ pub enum Site {
     ManifestTruncate,
     /// `slo-service::manifest`: an incoming serve line is garbled.
     ManifestGarble,
+    /// `slo-service::net`: a client stalls mid-line (slow-loris); the
+    /// ingress must close it through its read-timeout defense instead
+    /// of buffering the partial frame forever.
+    NetSlowLoris,
+    /// `slo-service::net`: the connection drops after a request ran but
+    /// before its reply was written — the acked-vs-journaled window.
+    NetDisconnect,
+    /// `slo-service::net`: an accept storm — a burst of connections
+    /// arrives at once, forcing the ingress through its over-capacity
+    /// rejection path.
+    NetAcceptStorm,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 7;
+pub const NUM_SITES: usize = 10;
 
 /// Every site, in a fixed order (index = `site as usize`).
 pub const ALL_SITES: [Site; NUM_SITES] = [
@@ -71,6 +82,9 @@ pub const ALL_SITES: [Site; NUM_SITES] = [
     Site::PoolWorkerPanic,
     Site::ManifestTruncate,
     Site::ManifestGarble,
+    Site::NetSlowLoris,
+    Site::NetDisconnect,
+    Site::NetAcceptStorm,
 ];
 
 impl Site {
@@ -84,6 +98,9 @@ impl Site {
             Site::PoolWorkerPanic => "pool-worker-panic",
             Site::ManifestTruncate => "manifest-truncate",
             Site::ManifestGarble => "manifest-garble",
+            Site::NetSlowLoris => "net-slow-loris",
+            Site::NetDisconnect => "net-disconnect",
+            Site::NetAcceptStorm => "net-accept-storm",
         }
     }
 }
@@ -106,6 +123,9 @@ impl Default for ChaosConfig {
         rates[Site::PoolWorkerPanic as usize] = 64; // ~6% of pulls kill a worker
         rates[Site::ManifestTruncate as usize] = 96; // ~9% of serve lines cut
         rates[Site::ManifestGarble as usize] = 96; // ~9% of serve lines mangled
+        rates[Site::NetSlowLoris as usize] = 64; // ~6% of reads stall
+        rates[Site::NetDisconnect as usize] = 64; // ~6% of replies dropped
+        rates[Site::NetAcceptStorm as usize] = 48; // ~5% of accepts storm
         ChaosConfig { rates }
     }
 }
@@ -205,7 +225,12 @@ impl FaultPlan {
                 let idx = site as usize;
                 let n = inner.queries[idx].fetch_add(1, Ordering::Relaxed);
                 let rate = u64::from(inner.config.rates[idx]);
-                let h = mix(inner.seed ^ ((idx as u64) << 56) ^ n);
+                // Pre-mix the (seed, site) pair before folding in the
+                // ordinal: `seed ^ n` alone makes consecutive seeds
+                // mere translations of one another's firing streams,
+                // so short campaigns over seeds 0..K would all dodge
+                // (or all hit) the same early ordinals.
+                let h = mix(mix(inner.seed ^ ((idx as u64) << 56)).wrapping_add(n));
                 let fire = (h & 1023) < rate;
                 if fire {
                     inner.injected[idx].fetch_add(1, Ordering::Relaxed);
@@ -232,7 +257,8 @@ impl FaultPlan {
                 }
                 let idx = site as usize;
                 let n = inner.queries[idx].load(Ordering::Relaxed);
-                mix(inner.seed ^ ((idx as u64) << 56) ^ n ^ 0x5ca1_ab1e) % (max + 1)
+                mix(mix(inner.seed ^ ((idx as u64) << 56) ^ 0x5ca1_ab1e).wrapping_add(n))
+                    % (max + 1)
             }
         }
     }

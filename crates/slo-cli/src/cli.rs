@@ -27,9 +27,11 @@ use slo::SloError;
 use slo_ir::parser::parse;
 use slo_ir::Program;
 use slo_service::{
-    chaos_line, job_key, Clock, FaultPlan, JobStatus, Journal, RetryPolicy, Service, ServiceConfig,
+    legacy_line, Clock, FaultPlan, Journal, NetConfig, NetServer, Reply, RetryPolicy, Service,
+    ServiceConfig, Session,
 };
 use std::fmt::Write as _;
+use std::sync::Mutex;
 
 type Result<T> = std::result::Result<T, SloError>;
 
@@ -47,17 +49,25 @@ commands:
   profile <file.sir> [-o out.prof]       collect an edge/d-cache profile
   vcg <file.sir> <record>                VCG affinity graph for one type
   print <file.sir>                       parse, verify and pretty-print IR
-  batch <manifest> [--workers N] [--cache N] [--json] [--strict]
+  batch <manifest> [--workers N] [--cache N] [--json] [--strict] [--wire]
         [--chaos-seed N] [--trace-json t.json]
                                          run a job manifest through the
-                                         batch service
+                                         batch service (--wire answers in
+                                         the v1 JSON wire protocol)
   serve [--workers N] [--cache N] [--journal FILE] [--chaos-seed N]
-                                         read job lines from stdin, print
-                                         one outcome per line (`metrics`
-                                         dumps JSON, `metrics prom` the
-                                         Prometheus exposition); --journal
-                                         appends outcomes to a JSONL WAL
-                                         and replays it on restart
+        [--legacy-lines] [--listen ADDR] [--net-inflight N] [--net-queue N]
+        [--net-clients N] [--net-per-client N] [--net-read-timeout-ms N]
+        [--net-retry-after-ms N]
+                                         serve the v1 wire protocol: job
+                                         lines in, one JSON reply per job
+                                         (`metrics` dumps JSON, `metrics
+                                         prom` the Prometheus exposition);
+                                         --journal appends outcomes to a
+                                         JSONL WAL and replays it on
+                                         restart; --listen serves TCP with
+                                         bounded admission + load shedding
+                                         instead of stdin; --legacy-lines
+                                         keeps the pre-protocol replies
   trace-check <trace.json>               validate a Chrome trace against
                                          the golden schema
   help                                   this text
@@ -502,36 +512,6 @@ fn chaos_flag(opts: &Opts) -> Result<FaultPlan> {
     }
 }
 
-/// One human-readable result line per job outcome.
-fn outcome_line(o: &slo_service::JobOutcome) -> String {
-    let cache = if o.metrics.cache_hit { " [cached]" } else { "" };
-    match &o.status {
-        JobStatus::Optimized(opt) => format!(
-            "{:<24} optimized  {} type(s), cycles {} -> {} ({:+.1}%){}",
-            o.id,
-            opt.num_transformed,
-            opt.eval.baseline_cycles,
-            opt.eval.optimized_cycles,
-            opt.eval.speedup_percent(),
-            cache
-        ),
-        JobStatus::Advisory { reason, report } => format!(
-            "{:<24} advisory   {reason}{}{}",
-            o.id,
-            if report.is_some() {
-                " (report available)"
-            } else {
-                ""
-            },
-            cache
-        ),
-        JobStatus::Failed(msg) => {
-            let first = msg.lines().next().unwrap_or_default();
-            format!("{:<24} failed     {first}", o.id)
-        }
-    }
-}
-
 fn cmd_batch(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [manifest] = &opts.positional[..] else {
@@ -558,7 +538,13 @@ fn cmd_batch(args: &[String]) -> Result<String> {
 
     let mut s = String::new();
     for o in &outcomes {
-        let _ = writeln!(s, "{}", outcome_line(o));
+        // `--wire` answers in the same v1 JSON protocol as serve; the
+        // default stays the human-readable legacy line.
+        if opts.has("wire") {
+            let _ = writeln!(s, "{}", slo_service::Response::from_outcome(o).to_json());
+        } else {
+            let _ = writeln!(s, "{}", legacy_line(o));
+        }
     }
     let m = service.metrics();
     let _ = writeln!(
@@ -588,6 +574,7 @@ fn cmd_serve(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let workers = flag_count(&opts, "workers", 0)?;
     let cache = flag_count(&opts, "cache", 256)?;
+    let legacy = opts.has("legacy-lines");
     let service = Service::with_chaos(
         ServiceConfig::builder()
             .workers(workers)
@@ -598,12 +585,12 @@ fn cmd_serve(args: &[String]) -> Result<String> {
         RetryPolicy::default(),
         Clock::Real,
     );
-    let mut journal: Option<Journal> = match opts.value("journal") {
+    let journal: Option<Mutex<Journal>> = match opts.value("journal") {
         Some(p) => {
             let j = Journal::open(std::path::Path::new(p))
                 .map_err(|e| SloError::Io(format!("journal `{p}`: {e}")))?;
             println!("journal: recovered {} completed job(s)", j.recovered());
-            Some(j)
+            Some(Mutex::new(j))
         }
         None if opts.has("journal") => {
             return Err(SloError::Usage("--journal needs a file path".into()))
@@ -612,9 +599,14 @@ fn cmd_serve(args: &[String]) -> Result<String> {
     };
     let dir = std::env::current_dir().map_err(|e| SloError::Io(format!("current dir: {e}")))?;
 
+    if opts.has("listen") {
+        return serve_listen(&opts, &service, journal.as_ref(), dir, legacy);
+    }
+
+    // stdin front end: the same protocol Session the TCP ingress uses.
+    let session = Session::new(&service, journal.as_ref(), dir, legacy);
     let stdin = std::io::stdin();
     let mut line = String::new();
-    let mut replayed: u64 = 0;
     loop {
         line.clear();
         let n = std::io::BufRead::read_line(&mut stdin.lock(), &mut line)
@@ -622,53 +614,23 @@ fn cmd_serve(args: &[String]) -> Result<String> {
         if n == 0 {
             break; // EOF
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        match trimmed {
-            "quit" | "exit" => break,
-            "metrics" => println!("{}", service.metrics().to_json()),
-            "metrics prom" => print!("{}", service.metrics().to_prometheus()),
-            _ => {
-                // The chaos plan's ingress sites mangle the wire line
-                // *before* parsing; a disabled plan is the identity.
-                let wire = chaos_line(trimmed, service.fault_plan());
-                match slo_service::parse_job_line(&dir, &wire) {
-                    Ok(jobs) => {
-                        // Jobs the journal already holds are answered
-                        // from it; only the rest are (re)computed.
-                        let mut todo = Vec::new();
-                        for job in jobs {
-                            let key = job_key(&wire, &job);
-                            match journal.as_ref().and_then(|j| j.lookup(key)) {
-                                Some(e) => {
-                                    replayed += 1;
-                                    println!("{} [journal]", e.summary);
-                                }
-                                None => todo.push((key, job)),
-                            }
-                        }
-                        let fresh: Vec<_> = todo.iter().map(|(_, j)| j.clone()).collect();
-                        for (o, (key, _)) in service.run_batch(&fresh).iter().zip(&todo) {
-                            let summary = outcome_line(o);
-                            // WAL order: make the outcome durable first,
-                            // acknowledge second — a kill between the
-                            // two recomputes the job instead of losing
-                            // a journaled-but-unacknowledged reply.
-                            if let Some(j) = journal.as_mut() {
-                                j.record(*key, &o.id, &o.status, &summary)
-                                    .map_err(|e| SloError::Io(format!("journal append: {e}")))?;
-                            }
-                            println!("{summary}");
-                        }
-                    }
-                    Err(msg) => println!("error: {msg}"),
+        match session.handle_line(&line) {
+            Reply::Quit => break,
+            Reply::Lines(lines) => {
+                for l in lines {
+                    println!("{l}");
                 }
             }
+            Reply::Text(text) => print!("{text}"),
         }
     }
-    Ok(format!(
+    Ok(serve_summary(&service, session.replayed()))
+}
+
+/// The end-of-session summary line shared by the stdin and TCP serve
+/// front ends.
+fn serve_summary(service: &Service, replayed: u64) -> String {
+    format!(
         "served {} job(s){}\n",
         service.metrics().jobs,
         if replayed > 0 {
@@ -676,7 +638,60 @@ fn cmd_serve(args: &[String]) -> Result<String> {
         } else {
             String::new()
         }
-    ))
+    )
+}
+
+/// `slo serve --listen <addr>`: the TCP ingress. The main thread keeps
+/// reading stdin; EOF or `quit` begins the graceful drain.
+fn serve_listen(
+    opts: &Opts,
+    service: &Service,
+    journal: Option<&Mutex<Journal>>,
+    dir: std::path::PathBuf,
+    legacy: bool,
+) -> Result<String> {
+    let addr = opts
+        .value("listen")
+        .ok_or_else(|| SloError::Usage("--listen needs an address (e.g. 127.0.0.1:0)".into()))?;
+    let cfg = NetConfig {
+        addr: addr.to_string(),
+        dir,
+        max_clients: flag_count(opts, "net-clients", 64)?,
+        max_inflight: flag_count(opts, "net-inflight", 4)?,
+        queue_capacity: flag_count(opts, "net-queue", 16)?,
+        per_client_inflight: flag_count(opts, "net-per-client", 8)?,
+        read_timeout_ms: flag_count(opts, "net-read-timeout-ms", 5_000)? as u64,
+        retry_after_ms: flag_count(opts, "net-retry-after-ms", 50)? as u64,
+        legacy,
+    };
+    let server = NetServer::bind(cfg).map_err(|e| SloError::Io(format!("bind `{addr}`: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| SloError::Io(format!("local addr: {e}")))?;
+    // Announce the resolved address (`:0` picks a port) and flush so a
+    // supervising process can read it from a pipe immediately.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let run_result = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run(service, journal));
+        // Stdin is the control channel: EOF or `quit` drains the server.
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if matches!(line.trim(), "quit" | "exit") => break,
+                Ok(_) => {}
+            }
+        }
+        server.request_shutdown();
+        runner.join().expect("server thread")
+    });
+    run_result.map_err(|e| SloError::Io(format!("serve: {e}")))?;
+    Ok(serve_summary(service, 0))
 }
 
 #[cfg(test)]

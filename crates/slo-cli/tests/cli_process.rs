@@ -184,10 +184,10 @@ fn serve_processes_jobs_from_stdin() {
     let out = child.wait_with_output().expect("wait");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("optimized"));
+    assert!(text.contains("\"status\":\"optimized\""), "{text}");
     assert!(
-        text.contains("[cached]"),
-        "second identical job hits the cache"
+        text.contains("\"cached\":true"),
+        "second identical job hits the cache:\n{text}"
     );
     assert!(
         text.contains("\"cache_hits\": 1"),
@@ -196,8 +196,9 @@ fn serve_processes_jobs_from_stdin() {
     assert!(text.contains("served 2 job(s)"));
 }
 
-/// A malformed manifest line mid-stream must degrade to an `error:`
-/// reply without killing the serve loop: jobs after it still run.
+/// A malformed manifest line mid-stream must degrade to a structured
+/// error reply without killing the serve loop: jobs after it still
+/// run, and every error carries a machine-parseable `code`.
 #[test]
 fn serve_survives_malformed_manifest_lines_mid_stream() {
     use std::io::Write as _;
@@ -224,15 +225,66 @@ fn serve_survives_malformed_manifest_lines_mid_stream() {
     let out = child.wait_with_output().expect("wait");
     assert!(out.status.success(), "malformed lines must not kill serve");
     let text = String::from_utf8_lossy(&out.stdout);
-    let errors = text.lines().filter(|l| l.starts_with("error: ")).count();
-    assert_eq!(errors, 3, "each bad line answers with one error:\n{text}");
+    let errors: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"status\":\"error\""))
+        .collect();
+    assert_eq!(
+        errors.len(),
+        3,
+        "each bad line answers with one error reply:\n{text}"
+    );
+    for line in &errors {
+        let r = slo_service::Response::parse(line).expect("error reply parses");
+        assert!(r.code.is_some(), "error replies carry a code: {line}");
+        assert!(r.message.is_some(), "error replies carry a message: {line}");
+    }
     assert!(
         text.contains("served 2 job(s)"),
         "both good jobs (before and after the bad lines) ran:\n{text}"
     );
     assert!(
-        text.contains("[cached]"),
+        text.contains("\"cached\":true"),
         "the second good job still hits the cache:\n{text}"
+    );
+}
+
+/// `--legacy-lines` keeps the pre-protocol human-readable replies for
+/// scripts that scraped them: `error: ` prefixes and the `[cached]`
+/// suffix, no JSON.
+#[test]
+fn serve_legacy_lines_keeps_the_old_format() {
+    use std::io::Write as _;
+    let mut child = slo()
+        .args(["serve", "--legacy-lines"])
+        .current_dir(smoke_manifest().parent().expect("dir"))
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(
+            b"../ir/hotcold.sir scheme=ispbo\n\
+              ../ir/hotcold.sir scheme=bogus-scheme\n\
+              ../ir/hotcold.sir scheme=ispbo\n\
+              quit\n",
+        )
+        .expect("write jobs");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("error: ")).count(),
+        1,
+        "legacy error prefix:\n{text}"
+    );
+    assert!(text.contains("[cached]"), "legacy cache suffix:\n{text}");
+    assert!(
+        !text.contains("\"status\""),
+        "no JSON in legacy mode:\n{text}"
     );
 }
 
@@ -376,11 +428,22 @@ fn serve_journal_recovers_after_kill() {
     }
     assert!(seen[0].contains("recovered 0"), "{seen:?}");
     assert!(
-        seen[1].contains('a') && !seen[1].contains("[journal]"),
+        seen[1].contains("\"id\":\"a\"") && !seen[1].contains("\"replayed\":true"),
         "{seen:?}"
     );
     child.kill().expect("SIGKILL serve");
     let _ = child.wait();
+
+    // Cross-crate pin: the on-disk journal key is exactly the wire
+    // fingerprint (`proto::Request::fingerprint` via `job_key`). If the
+    // derivations ever drift, recovery would silently stop replaying.
+    let jobs = slo_service::parse_job_line(&dir, "a.sir scheme=ispbo").expect("parse job line");
+    let key = slo_service::job_key("a.sir scheme=ispbo", &jobs[0]);
+    let journal_text = std::fs::read_to_string(&journal).expect("read journal");
+    assert!(
+        journal_text.contains(&format!("{key:016x}")),
+        "journal key must be the proto fingerprint {key:016x}:\n{journal_text}"
+    );
 
     // Session 2: same two lines plus two new ones. The first two must
     // be answered from the journal, the new ones computed.
@@ -408,7 +471,10 @@ fn serve_journal_recovers_after_kill() {
         text.contains("journal: recovered 2 completed job(s)"),
         "replay announced:\n{text}"
     );
-    let replayed = text.lines().filter(|l| l.ends_with("[journal]")).count();
+    let replayed = text
+        .lines()
+        .filter(|l| l.contains("\"replayed\":true"))
+        .count();
     assert_eq!(replayed, 2, "a and b answered from the journal:\n{text}");
     assert!(
         text.contains("served 2 job(s) (2 replayed from journal)"),
@@ -464,9 +530,348 @@ fn serve_journal_does_not_replay_stale_sources() {
     .expect("rewrite sir");
     let second = serve_once(&dir, &journal);
     assert!(
-        !second.contains("[journal]"),
+        !second.contains("\"replayed\":true"),
         "edited source must not replay:\n{second}"
     );
     assert!(second.contains("served 1 job(s)"), "{second}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Spawn `slo serve --listen 127.0.0.1:0 <extra>` in `dir`, keep its
+/// stdin open (stdin is the drain control channel), and return the
+/// child, a reader over its remaining stdout, and the bound address
+/// announced by the `listening on ...` line.
+fn spawn_listen(
+    dir: &std::path::Path,
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    std::io::BufReader<std::process::ChildStdout>,
+    String,
+) {
+    use std::io::BufRead as _;
+    let mut child = slo()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .current_dir(dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve --listen");
+    let mut reader = std::io::BufReader::new(child.stdout.take().expect("stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read banner");
+        assert!(n > 0, "serve exited before announcing its address");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+    (child, reader, addr)
+}
+
+/// Connect to `addr`, send `lines` (newline-terminated), half-close
+/// the write side, and collect one reply line per request.
+fn wire_roundtrip(addr: &str, lines: &[&str]) -> Vec<String> {
+    use std::io::{BufRead as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+        .expect("read timeout");
+    for l in lines {
+        // One segment per frame (a split line + newline would eat a
+        // Nagle/delayed-ACK stall per request).
+        stream
+            .write_all(format!("{l}\n").as_bytes())
+            .expect("write frame");
+    }
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut replies = Vec::new();
+    for line in std::io::BufReader::new(stream).lines() {
+        replies.push(line.expect("read reply"));
+    }
+    replies
+}
+
+/// The TCP front end speaks the same v1 protocol: handshake, job
+/// replies, journal write-ahead — and a SIGKILLed session replays its
+/// completed jobs to reconnecting clients after restart.
+#[test]
+fn tcp_serve_replays_journal_after_sigkill() {
+    use std::io::{BufRead as _, Write as _};
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-tcp-journal-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    const SIR: &str = "func main() -> i64 {\nbb0:\n  ret 7\n}\n";
+    for name in ["a.sir", "b.sir", "c.sir"] {
+        std::fs::write(dir.join(name), SIR).expect("write sir");
+    }
+    let journal = dir.join("serve.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // Session 1: handshake + two jobs over TCP, then SIGKILL — no
+    // drain, no flush beyond the per-record WAL flush.
+    let (mut child, _reader, addr) = spawn_listen(&dir, &["--journal", "serve.jsonl"]);
+    let replies = wire_roundtrip(
+        &addr,
+        &["hello v=1", "a.sir scheme=ispbo", "b.sir scheme=ispbo"],
+    );
+    assert_eq!(replies.len(), 3, "{replies:?}");
+    assert!(
+        replies[0].contains("\"id\":\"hello\"") && replies[0].contains("\"status\":\"ok\""),
+        "handshake answered: {replies:?}"
+    );
+    for r in &replies[1..] {
+        assert!(r.contains("\"status\":\"optimized\""), "{replies:?}");
+        assert!(!r.contains("\"replayed\":true"), "{replies:?}");
+    }
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+
+    // Session 2: the journaled jobs replay over a fresh connection;
+    // only the new job is computed.
+    let (mut child, mut reader, addr) = spawn_listen(&dir, &["--journal", "serve.jsonl"]);
+    let replies = wire_roundtrip(
+        &addr,
+        &[
+            "a.sir scheme=ispbo",
+            "b.sir scheme=ispbo",
+            "c.sir scheme=ispbo",
+        ],
+    );
+    assert_eq!(replies.len(), 3, "{replies:?}");
+    assert!(
+        replies[0].contains("\"replayed\":true") && replies[1].contains("\"replayed\":true"),
+        "journaled jobs answered without recomputation: {replies:?}"
+    );
+    assert!(
+        replies[2].contains("\"status\":\"optimized\"")
+            && !replies[2].contains("\"replayed\":true"),
+        "the new job is computed: {replies:?}"
+    );
+
+    // Graceful drain via the stdin control channel.
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"quit\n")
+        .expect("write quit");
+    let mut rest = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read tail") == 0 {
+            break;
+        }
+        rest.push_str(&line);
+    }
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "drain exits cleanly:\n{rest}");
+    assert!(
+        rest.contains("served 1 job(s)"),
+        "only c was computed this session:\n{rest}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overload: with a one-permit pool and a zero-length queue, a second
+/// client's request is shed with a concrete `retry_after_ms` hint
+/// instead of queueing unboundedly — and honouring the hint succeeds.
+/// Every request gets exactly one reply; nothing is silently dropped.
+#[test]
+fn tcp_serve_sheds_under_overload_with_retry_after() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-tcp-overload-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    // ~3M-iteration counted loop: holds the single admission permit
+    // for seconds in a debug-build VM while staying under the default
+    // step budget.
+    std::fs::write(
+        dir.join("slow.sir"),
+        "record acc { v: i64, pad: i64 }\n\n\
+         func main() -> i64 {\n\
+         bb0:\n  r0 = alloc acc, 1\n  r1 = 0\n  r2 = 0\n  jump bb1\n\
+         bb1:\n  r3 = cmp.lt r1, 3000000\n  br r3, bb2, bb3\n\
+         bb2:\n  r4 = fieldaddr r0, acc.v\n  store r1, r4 : i64\n  r5 = load r4 : i64\n\
+         \x20 r2 = add r2, r5\n  r1 = add r1, 1\n  jump bb1\n\
+         bb3:\n  ret r2\n}\n",
+    )
+    .expect("write slow.sir");
+    std::fs::write(
+        dir.join("fast.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 7\n}\n",
+    )
+    .expect("write fast.sir");
+
+    let (mut child, mut reader, addr) = spawn_listen(
+        &dir,
+        &[
+            "--net-inflight",
+            "1",
+            "--net-per-client",
+            "1",
+            "--net-queue",
+            "0",
+            "--net-retry-after-ms",
+            "20",
+        ],
+    );
+
+    // Client A occupies the only permit with the slow job.
+    let slow = std::thread::spawn({
+        let addr = addr.clone();
+        move || wire_roundtrip(&addr, &["slow.sir scheme=ispbo"])
+    });
+    // Give A's frame time to be admitted before B starts asking.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // Client B: retry on shed, honouring the server's hint.
+    let mut sheds = 0u32;
+    let mut attempts = 0u32;
+    let fast_reply = loop {
+        attempts += 1;
+        assert!(attempts <= 500, "server never freed the permit");
+        let replies = wire_roundtrip(&addr, &["fast.sir scheme=ispbo"]);
+        assert_eq!(
+            replies.len(),
+            1,
+            "exactly one reply per request: {replies:?}"
+        );
+        let r = slo_service::Response::parse(&replies[0]).expect("reply parses");
+        match r.status.as_str() {
+            "shed" => {
+                let hint = r.retry_after_ms.expect("shed replies carry retry_after_ms");
+                assert!(hint > 0, "retry hint must be positive");
+                sheds += 1;
+                std::thread::sleep(std::time::Duration::from_millis(hint.min(200)));
+            }
+            "optimized" => break replies[0].clone(),
+            other => panic!("unexpected status `{other}`: {replies:?}"),
+        }
+    };
+    assert!(sheds > 0, "the saturated server must shed at least once");
+    assert!(fast_reply.contains("\"id\":\"fast\""), "{fast_reply}");
+
+    // Client A's slow job was never dropped: one optimized reply.
+    let slow_replies = slow.join().expect("join slow client");
+    assert_eq!(slow_replies.len(), 1, "{slow_replies:?}");
+    assert!(
+        slow_replies[0].contains("\"status\":\"optimized\""),
+        "{slow_replies:?}"
+    );
+
+    // Drain and check the shed counter is visible to operators.
+    use std::io::{BufRead as _, Write as _};
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"quit\n")
+        .expect("write quit");
+    let mut rest = String::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read tail") == 0 {
+            break;
+        }
+        rest.push_str(&line);
+    }
+    assert!(child.wait().expect("wait").success(), "{rest}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One protocol, three front ends: the same job line answered by
+/// `slo batch --wire`, stdin serve, and the TCP listener parses to the
+/// identical `Response` value.
+#[test]
+fn three_front_ends_speak_one_protocol() {
+    use std::io::Write as _;
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-conformance-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(
+        dir.join("x.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 3\n}\n",
+    )
+    .expect("write sir");
+    const LINE: &str = "x.sir scheme=ispbo";
+    std::fs::write(dir.join("jobs.txt"), format!("{LINE}\n")).expect("write manifest");
+
+    let parse_first_wire_line = |text: &str| -> slo_service::Response {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with('{') && l.contains("\"v\":"))
+            .unwrap_or_else(|| panic!("no wire reply in:\n{text}"));
+        slo_service::Response::parse(line).expect("wire reply parses")
+    };
+
+    // Front end 1: batch --wire.
+    let out = slo()
+        .args(["batch", "jobs.txt", "--wire"])
+        .current_dir(&dir)
+        .output()
+        .expect("spawn slo batch");
+    assert!(out.status.success());
+    let from_batch = parse_first_wire_line(&String::from_utf8_lossy(&out.stdout));
+
+    // Front end 2: stdin serve.
+    let mut child = slo()
+        .args(["serve"])
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(format!("{LINE}\nquit\n").as_bytes())
+        .expect("write job");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let from_stdin = parse_first_wire_line(&String::from_utf8_lossy(&out.stdout));
+
+    // Front end 3: TCP.
+    let (mut child, _reader, addr) = spawn_listen(&dir, &[]);
+    let replies = wire_roundtrip(&addr, &[LINE]);
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    let from_tcp = slo_service::Response::parse(&replies[0]).expect("tcp reply parses");
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+
+    assert_eq!(from_batch, from_stdin, "batch and stdin serve agree");
+    assert_eq!(from_stdin, from_tcp, "stdin serve and TCP agree");
+    assert_eq!(from_batch.v, 1, "protocol version is pinned");
+    assert_eq!(from_batch.id, "x");
+    assert_eq!(from_batch.status, "optimized");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The README quickstart, kept honest: `slo serve --listen`, then the
+/// documented handshake, job line and `metrics` probe over a raw
+/// socket (what the README does with `nc`).
+#[test]
+fn readme_listen_quickstart_works_as_documented() {
+    let dir = sample().parent().expect("dir").to_path_buf();
+    let (mut child, _reader, addr) = spawn_listen(&dir, &[]);
+    let replies = wire_roundtrip(&addr, &["hello v=1", "hotcold.sir scheme=ispbo", "metrics"]);
+    assert!(replies.len() >= 3, "{replies:?}");
+    assert!(
+        replies[0].contains("\"id\":\"hello\"") && replies[0].contains("\"status\":\"ok\""),
+        "{replies:?}"
+    );
+    assert!(
+        replies[1].contains("\"id\":\"hotcold\"")
+            && replies[1].contains("\"status\":\"optimized\""),
+        "{replies:?}"
+    );
+    assert!(
+        replies[2].contains("\"jobs\": 1"),
+        "metrics answers inline: {replies:?}"
+    );
+    child.kill().expect("kill serve");
+    let _ = child.wait();
 }

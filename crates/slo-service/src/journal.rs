@@ -16,8 +16,8 @@
 //! parse as a complete record is ignored. There is no compaction —
 //! journals are per-serve-session artifacts, not databases.
 
-use crate::job::{Job, JobInput, JobStatus};
-use slo_chaos::fnv1a;
+use crate::job::{Job, JobStatus};
+use crate::proto;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
@@ -45,17 +45,12 @@ pub struct Journal {
 }
 
 /// Stable identity of "this request line produced this job over this
-/// source": FNV-1a over the wire line, the job id, and the program
-/// text. Editing the `.sir` file (or the line's attributes) changes
-/// the key, so a recovered journal never serves stale results for
-/// changed inputs.
+/// source". The derivation lives in [`proto::Request::fingerprint`] —
+/// the wire protocol and the WAL key are the same bits by
+/// construction, so they can never drift; this is a convenience alias
+/// for journal-facing callers.
 pub fn job_key(line: &str, job: &Job) -> u64 {
-    let mut h = fnv1a(line.trim().as_bytes());
-    h ^= fnv1a(job.id.as_bytes()).rotate_left(17);
-    if let JobInput::Source(src) = &job.input {
-        h ^= fnv1a(src.as_bytes()).rotate_left(31);
-    }
-    h
+    proto::Request::fingerprint(line, job)
 }
 
 impl Journal {
@@ -136,79 +131,23 @@ impl Journal {
     }
 }
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next() {
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            Some('t') => out.push('\t'),
-            Some('u') => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
-                    out.push(c);
-                }
-            }
-            Some(c) => out.push(c),
-            None => {}
-        }
-    }
-    out
-}
-
-/// Extract the string value of `"name":"..."` from a record line,
-/// honoring backslash escapes. Returns `None` on any malformation —
-/// replay treats that as a torn record and skips it.
-fn field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
-    let tag = format!("\"{name}\":\"");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let mut escaped = false;
-    for (i, c) in rest.char_indices() {
-        if escaped {
-            escaped = false;
-        } else if c == '\\' {
-            escaped = true;
-        } else if c == '"' {
-            return Some(&rest[..i]);
-        }
-    }
-    None
-}
+// JSON escaping and field extraction are shared with the wire protocol
+// (`proto`): the journal stores reply lines, so the two must agree on
+// the encoding anyway.
+use proto::{escape, field_str};
 
 fn parse_record(line: &str) -> Option<(u64, JournalEntry)> {
     let line = line.trim();
     if !line.starts_with('{') || !line.ends_with('}') {
         return None; // torn or foreign line
     }
-    let key = u64::from_str_radix(field(line, "key")?, 16).ok()?;
+    let key = u64::from_str_radix(&field_str(line, "key")?, 16).ok()?;
     Some((
         key,
         JournalEntry {
-            id: unescape(field(line, "id")?),
-            status: unescape(field(line, "status")?),
-            summary: unescape(field(line, "summary")?),
+            id: field_str(line, "id")?,
+            status: field_str(line, "status")?,
+            summary: field_str(line, "summary")?,
         },
     ))
 }

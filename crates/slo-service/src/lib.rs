@@ -30,6 +30,16 @@
 //! * **Crash recovery** ([`journal::Journal`]): `slo serve` appends
 //!   every outcome to a JSONL write-ahead journal and replays it on
 //!   restart, so a killed session never recomputes completed jobs.
+//! * **One wire protocol** ([`proto`]): versioned [`Request`] /
+//!   [`Response`] types — manifest attribute syntax in, one-line JSON
+//!   out — shared verbatim by stdin serve, the TCP ingress and
+//!   `slo batch --wire`, with the WAL key folded into
+//!   [`proto::Request::fingerprint`] so wire and journal never drift.
+//! * **Network ingress** ([`net::NetServer`]): a newline-framed TCP
+//!   listener multiplexing many clients onto the worker pool, with a
+//!   bounded admission queue, load shedding (`retry_after_ms` replies,
+//!   never unbounded buffering), per-client fairness, slow-client
+//!   read timeouts and graceful drain-on-shutdown.
 //!
 //! # Examples
 //!
@@ -52,7 +62,9 @@ pub mod job;
 pub mod journal;
 pub mod manifest;
 pub mod metrics;
+pub mod net;
 pub mod pool;
+pub mod proto;
 pub mod service;
 
 pub use job::{
@@ -62,7 +74,9 @@ pub use job::{
 pub use journal::{job_key, Journal, JournalEntry};
 pub use manifest::{chaos_line, load_manifest, parse_job_line, MAX_LINE_LEN};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use net::{NetConfig, NetServer, NetSnapshot};
 pub use pool::{par_map_bounded, par_map_supervised};
+pub use proto::{legacy_line, Reply, Request, Response, Session, WireError, PROTO_VERSION};
 pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
 
 // The chaos vocabulary the service API speaks, re-exported so CLI and

@@ -184,7 +184,14 @@ impl Service {
     /// the chaos plan's pool site orphan their jobs to the supervising
     /// caller thread, so every job still completes.
     pub fn run_batch(&self, jobs: &[Job]) -> Vec<JobOutcome> {
-        let submitted = Instant::now();
+        self.run_batch_since(jobs, Instant::now())
+    }
+
+    /// [`Service::run_batch`] with an explicit submission instant: the
+    /// network ingress admits a request *before* it reaches the pool,
+    /// and queue-wait accounting should start at admission, not at the
+    /// moment the worker shard begins.
+    pub fn run_batch_since(&self, jobs: &[Job], submitted: Instant) -> Vec<JobOutcome> {
         par_map_supervised(self.cfg.workers, jobs, &self.chaos, |job| {
             self.run_job(job, submitted)
         })
