@@ -565,6 +565,70 @@ pub fn record_batch(stats: BatchStats) {
     }
 }
 
+/// The kill-and-restart store campaign's tallies for the trajectory
+/// file.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreStats {
+    /// Jobs in the manifest each process ran.
+    pub jobs: usize,
+    /// Replies received before the serve process was SIGKILLed.
+    pub killed_after: usize,
+    /// Persistent-store hit rate of the restarted (cold-LRU) batch —
+    /// the cross-process warm-start rate.
+    pub warm_hit_rate: f64,
+    /// Corrupt records dropped across the restart runs (torn tails
+    /// from the kill, never served).
+    pub corrupt_drops: u64,
+    /// Seeds swept in the in-process bit-rot campaign.
+    pub bitrot_seeds: usize,
+    /// Corrupt records dropped and recomputed across the bit-rot sweep.
+    pub bitrot_corrupt_drops: u64,
+    /// Outcomes that differed from the clean reference anywhere in the
+    /// campaign (must be 0: corruption may cost recompute time, never
+    /// bits).
+    pub mismatches: u64,
+}
+
+/// Merge the kill-and-restart store campaign's stats into
+/// `BENCH_vm.json` under `store`. Call only when the driver saw
+/// `--json`.
+pub fn record_store(stats: StoreStats) {
+    let path = bench_json_path();
+    let path = path.as_path();
+    let mut root = Json::load(path).unwrap_or_else(Json::object);
+    if !matches!(root, Json::Obj(_)) {
+        root = Json::object();
+    }
+    root.set("schema", Json::Str("slo-bench-v1".to_string()));
+    let mut entry = Json::object();
+    entry.set("jobs", Json::Num(stats.jobs as f64));
+    entry.set("killed_after", Json::Num(stats.killed_after as f64));
+    entry.set("warm_hit_rate", Json::Num(stats.warm_hit_rate));
+    entry.set("corrupt_drops", Json::Num(stats.corrupt_drops as f64));
+    entry.set("bitrot_seeds", Json::Num(stats.bitrot_seeds as f64));
+    entry.set(
+        "bitrot_corrupt_drops",
+        Json::Num(stats.bitrot_corrupt_drops as f64),
+    );
+    entry.set("mismatches", Json::Num(stats.mismatches as f64));
+    root.set("store", entry);
+    match root.save(path) {
+        Ok(()) => eprintln!(
+            "[json] store: {} jobs, killed after {}, warm hit rate {:.0}%, \
+             {} corrupt dropped, bit-rot sweep {} seeds ({} dropped), {} mismatches -> {}",
+            stats.jobs,
+            stats.killed_after,
+            100.0 * stats.warm_hit_rate,
+            stats.corrupt_drops,
+            stats.bitrot_seeds,
+            stats.bitrot_corrupt_drops,
+            stats.mismatches,
+            path.display()
+        ),
+        Err(e) => eprintln!("[json] failed to write {}: {e}", path.display()),
+    }
+}
+
 /// The chaos campaign driver's tallies for the trajectory file.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosStats {

@@ -127,6 +127,29 @@ impl AffinityGraph {
         h.iter().map(|v| v / max * 100.0).collect()
     }
 
+    /// Iterate over every raw edge `((a, b), weight)` with `a <= b`,
+    /// self edges (field hotness) included — the full graph state, used
+    /// by the persistent analysis store's serializer.
+    pub fn edges(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
+        self.edges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Rebuild a graph from raw edge entries as produced by
+    /// [`AffinityGraph::edges`] (`a <= b`; `(i, i)` carries field `i`'s
+    /// hotness). The inverse of [`AffinityGraph::edges`]: weights are
+    /// installed verbatim, not re-accumulated like [`AffinityGraph::add_group`].
+    pub fn from_edges(
+        record: RecordId,
+        nfields: usize,
+        edges: impl IntoIterator<Item = ((u32, u32), f64)>,
+    ) -> Self {
+        AffinityGraph {
+            record,
+            nfields,
+            edges: edges.into_iter().collect(),
+        }
+    }
+
     /// Iterate over non-self edges `((a, b), weight)` with `a < b`.
     pub fn pair_edges(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
         self.edges

@@ -68,10 +68,22 @@ pub enum Site {
     /// arrives at once, forcing the ingress through its over-capacity
     /// rejection path.
     NetAcceptStorm,
+    /// `slo-service::store`: a put writes only a prefix of its record
+    /// (a torn write, as if the process died mid-append); the replay
+    /// path must treat it as an ignorable tail, never as data.
+    StoreTornWrite,
+    /// `slo-service::store`: one byte of a just-written record is
+    /// flipped on disk (bit rot); the checksummed read path must drop
+    /// and recompute, never serve the damaged record.
+    StoreBitRot,
+    /// `slo-service::store`: a stale compaction lock from a dead
+    /// process is planted before lock acquisition; the stale-lock
+    /// takeover path must reclaim it instead of deadlocking.
+    StoreLockStale,
 }
 
 /// Number of distinct [`Site`]s.
-pub const NUM_SITES: usize = 10;
+pub const NUM_SITES: usize = 13;
 
 /// Every site, in a fixed order (index = `site as usize`).
 pub const ALL_SITES: [Site; NUM_SITES] = [
@@ -85,6 +97,9 @@ pub const ALL_SITES: [Site; NUM_SITES] = [
     Site::NetSlowLoris,
     Site::NetDisconnect,
     Site::NetAcceptStorm,
+    Site::StoreTornWrite,
+    Site::StoreBitRot,
+    Site::StoreLockStale,
 ];
 
 impl Site {
@@ -101,6 +116,9 @@ impl Site {
             Site::NetSlowLoris => "net-slow-loris",
             Site::NetDisconnect => "net-disconnect",
             Site::NetAcceptStorm => "net-accept-storm",
+            Site::StoreTornWrite => "store-torn-write",
+            Site::StoreBitRot => "store-bit-rot",
+            Site::StoreLockStale => "store-lock-stale",
         }
     }
 }
@@ -126,6 +144,9 @@ impl Default for ChaosConfig {
         rates[Site::NetSlowLoris as usize] = 64; // ~6% of reads stall
         rates[Site::NetDisconnect as usize] = 64; // ~6% of replies dropped
         rates[Site::NetAcceptStorm as usize] = 48; // ~5% of accepts storm
+        rates[Site::StoreTornWrite as usize] = 64; // ~6% of puts torn
+        rates[Site::StoreBitRot as usize] = 96; // ~9% of puts bit-rotted
+        rates[Site::StoreLockStale as usize] = 128; // ~12% of compactions contested
         ChaosConfig { rates }
     }
 }

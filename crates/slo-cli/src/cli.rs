@@ -50,11 +50,13 @@ commands:
   vcg <file.sir> <record>                VCG affinity graph for one type
   print <file.sir>                       parse, verify and pretty-print IR
   batch <manifest> [--workers N] [--cache N] [--json] [--strict] [--wire]
-        [--chaos-seed N] [--trace-json t.json]
+        [--chaos-seed N] [--store DIR] [--trace-json t.json]
                                          run a job manifest through the
                                          batch service (--wire answers in
-                                         the v1 JSON wire protocol)
-  serve [--workers N] [--cache N] [--journal FILE] [--chaos-seed N]
+                                         the v1 JSON wire protocol;
+                                         --store persists analyses in a
+                                         crash-safe segment store)
+  serve [--workers N] [--cache N] [--journal FILE] [--store DIR] [--chaos-seed N]
         [--legacy-lines] [--listen ADDR] [--net-inflight N] [--net-queue N]
         [--net-clients N] [--net-per-client N] [--net-read-timeout-ms N]
         [--net-retry-after-ms N]
@@ -64,7 +66,11 @@ commands:
                                          prom` the Prometheus exposition);
                                          --journal appends outcomes to a
                                          JSONL WAL and replays it on
-                                         restart; --listen serves TCP with
+                                         restart; --store layers a
+                                         persistent checksummed analysis
+                                         store under the LRU, so restarts
+                                         warm-start from disk; --listen
+                                         serves TCP with
                                          bounded admission + load shedding
                                          instead of stdin; --legacy-lines
                                          keeps the pre-protocol replies
@@ -512,6 +518,30 @@ fn chaos_flag(opts: &Opts) -> Result<FaultPlan> {
     }
 }
 
+/// `--store DIR` → the persistent analysis store opened (and created)
+/// at DIR, sharing the service's recorder and fault plan; absent →
+/// `None`. The plan is shared deliberately: a chaos campaign's store
+/// faults count in the same `injected_by_site` totals.
+fn store_flag(
+    opts: &Opts,
+    rec: &Recorder,
+    chaos: &FaultPlan,
+) -> Result<Option<slo_service::AnalysisStore>> {
+    match opts.value("store") {
+        Some(p) => {
+            let store = slo_service::AnalysisStore::open(
+                std::path::Path::new(p),
+                rec.clone(),
+                chaos.clone(),
+            )
+            .map_err(|e| SloError::Io(format!("store `{p}`: {e}")))?;
+            Ok(Some(store))
+        }
+        None if opts.has("store") => Err(SloError::Usage("--store needs a directory".into())),
+        None => Ok(None),
+    }
+}
+
 fn cmd_batch(args: &[String]) -> Result<String> {
     let opts = parse_opts(args);
     let [manifest] = &opts.positional[..] else {
@@ -523,16 +553,20 @@ fn cmd_batch(args: &[String]) -> Result<String> {
     let cache = flag_count(&opts, "cache", 256)?;
     let (rec, trace_path) = trace_recorder(&opts)?;
     let jobs = slo_service::load_manifest(std::path::Path::new(manifest))?;
-    let service = Service::with_chaos(
+    let chaos = chaos_flag(&opts)?;
+    let mut service = Service::with_chaos(
         ServiceConfig::builder()
             .workers(workers)
             .cache_capacity(cache)
             .build(),
         rec.clone(),
-        chaos_flag(&opts)?,
+        chaos.clone(),
         RetryPolicy::default(),
         Clock::Real,
     );
+    if let Some(store) = store_flag(&opts, &rec, &chaos)? {
+        service = service.with_store(store);
+    }
     let outcomes = service.run_batch(&jobs);
     write_trace(&rec, trace_path.as_deref())?;
 
@@ -558,6 +592,17 @@ fn cmd_batch(args: &[String]) -> Result<String> {
         m.cache_hits + m.cache_misses,
         100.0 * m.cache_hit_rate()
     );
+    if opts.has("store") {
+        let _ = writeln!(
+            s,
+            "store: {}/{} hit ({:.0}%), {} corrupt dropped, {} byte(s) written",
+            m.store_hits,
+            m.store_hits + m.store_misses,
+            100.0 * m.store_hit_rate(),
+            m.store_corrupt_drops,
+            m.store_bytes
+        );
+    }
     if opts.has("json") {
         let _ = writeln!(s, "{}", m.to_json());
     }
@@ -575,16 +620,21 @@ fn cmd_serve(args: &[String]) -> Result<String> {
     let workers = flag_count(&opts, "workers", 0)?;
     let cache = flag_count(&opts, "cache", 256)?;
     let legacy = opts.has("legacy-lines");
-    let service = Service::with_chaos(
+    let chaos = chaos_flag(&opts)?;
+    let mut service = Service::with_chaos(
         ServiceConfig::builder()
             .workers(workers)
             .cache_capacity(cache)
             .build(),
         Recorder::disabled(),
-        chaos_flag(&opts)?,
+        chaos.clone(),
         RetryPolicy::default(),
         Clock::Real,
     );
+    if let Some(store) = store_flag(&opts, &Recorder::disabled(), &chaos)? {
+        println!("store: {} analysis record(s) on disk", store.len());
+        service = service.with_store(store);
+    }
     let journal: Option<Mutex<Journal>> = match opts.value("journal") {
         Some(p) => {
             let j = Journal::open(std::path::Path::new(p))

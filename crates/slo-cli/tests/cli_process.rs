@@ -567,6 +567,12 @@ fn spawn_listen(
             break rest.to_string();
         }
     };
+    // The banner must name the real ephemeral socket, not echo the
+    // requested ":0" — clients paste this address verbatim.
+    let parsed: std::net::SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|e| panic!("announced address {addr:?} must be a socket address: {e}"));
+    assert_ne!(parsed.port(), 0, "announced port must be the bound one");
     (child, reader, addr)
 }
 
@@ -874,4 +880,166 @@ fn readme_listen_quickstart_works_as_documented() {
     );
     child.kill().expect("kill serve");
     let _ = child.wait();
+}
+
+/// A `batch --store` run in one process leaves a segment store that a
+/// fresh process warm-starts from: every analysis is served from disk
+/// (100% store hit rate) and the reported outcomes are identical.
+#[test]
+fn batch_store_warm_starts_across_processes() {
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-batch-store-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(
+        dir.join("a.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 7\n}\n",
+    )
+    .expect("write sir");
+    std::fs::write(
+        dir.join("b.sir"),
+        "func main() -> i64 {\nbb0:\n  ret 9\n}\n",
+    )
+    .expect("write sir");
+    std::fs::write(
+        dir.join("jobs.txt"),
+        "a.sir scheme=ispbo\nb.sir scheme=spbo\n",
+    )
+    .expect("write manifest");
+    let store = dir.join("store");
+
+    let run = || {
+        let out = slo()
+            .args(["batch"])
+            .arg(dir.join("jobs.txt"))
+            .arg("--store")
+            .arg(&store)
+            .args(["--json"])
+            .output()
+            .expect("spawn slo batch --store");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let cold = run();
+    assert!(
+        cold.contains("store: 0/2 hit (0%)"),
+        "first process must miss and populate the store:\n{cold}"
+    );
+    assert!(
+        cold.contains("\"store_misses\": 2"),
+        "--json metrics must carry the store counters:\n{cold}"
+    );
+
+    let warm = run();
+    assert!(
+        warm.contains("store: 2/2 hit (100%)"),
+        "second process must be served entirely from disk:\n{warm}"
+    );
+    assert!(
+        warm.contains("\"store_hits\": 2") && warm.contains("\"store_corrupt_drops\": 0"),
+        "{warm}"
+    );
+
+    // Same per-job verdicts either way; only the cache provenance
+    // marker may differ between a computed and a warm-started run.
+    let verdicts = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.starts_with("a.sir") || l.starts_with("b.sir"))
+            .map(|l| l.replace(" [cached]", ""))
+            .collect()
+    };
+    assert_eq!(
+        verdicts(&cold),
+        verdicts(&warm),
+        "\ncold:\n{cold}\nwarm:\n{warm}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGKILL a `serve --store` session mid-stream: the sealed/active
+/// segments survive, the restarted session announces the on-disk
+/// record count, and re-submitted jobs come back `"cached":true`
+/// without recomputation.
+#[test]
+fn serve_store_survives_sigkill_and_warm_starts() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let pid = std::process::id();
+    let dir = std::env::temp_dir().join(format!("slo-e2e-serve-store-{pid}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    const SIR: &str = "func main() -> i64 {\nbb0:\n  ret 7\n}\n";
+    for name in ["a.sir", "b.sir"] {
+        std::fs::write(dir.join(name), SIR).expect("write sir");
+    }
+    let store = dir.join("store");
+
+    // Session 1: two jobs land in the store, then SIGKILL — no EOF,
+    // no graceful shutdown, no journal.
+    let mut child = slo()
+        .args(["serve", "--store", "store"])
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn slo serve --store");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"a.sir scheme=ispbo\nb.sir scheme=spbo\n")
+        .expect("write jobs");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        // "store: 0 analysis record(s) on disk" + one reply per job
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        seen.push(line);
+    }
+    assert!(
+        seen[0].contains("store: 0 analysis record(s) on disk"),
+        "{seen:?}"
+    );
+    assert!(
+        seen[1].contains("\"status\":\"optimized\"") && seen[1].contains("\"cached\":false"),
+        "{seen:?}"
+    );
+    child.kill().expect("SIGKILL serve");
+    let _ = child.wait();
+    assert!(store.is_dir(), "the store directory must survive the kill");
+
+    // Session 2: the banner counts the survivors and the same jobs are
+    // answered from disk.
+    let mut child = slo()
+        .args(["serve", "--store", "store"])
+        .current_dir(&dir)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("respawn slo serve --store");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(b"a.sir scheme=ispbo\nb.sir scheme=spbo\nquit\n")
+        .expect("write jobs");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("store: 2 analysis record(s) on disk"),
+        "restart must see both records:\n{text}"
+    );
+    let cached = text
+        .lines()
+        .filter(|l| l.contains("\"status\":\"optimized\"") && l.contains("\"cached\":true"))
+        .count();
+    assert_eq!(
+        cached, 2,
+        "both jobs must warm-start from the store:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -15,6 +15,14 @@
 //! line (the crash may have landed mid-write); anything that does not
 //! parse as a complete record is ignored. There is no compaction —
 //! journals are per-serve-session artifacts, not databases.
+//!
+//! Every record carries a trailing `"c"` field: an FNV-1a checksum of
+//! the record body, verified on replay. An interior line whose frame is
+//! intact but whose checksum does not match (bit rot, a concurrent
+//! writer, hand edits) is skipped and counted
+//! ([`Journal::corrupt_skipped`]) instead of being trusted. Records
+//! written before the checksum existed have no `"c"` field and still
+//! replay — the field is versioning by presence.
 
 use crate::job::{Job, JobStatus};
 use crate::proto;
@@ -42,6 +50,7 @@ pub struct Journal {
     file: File,
     completed: HashMap<u64, JournalEntry>,
     recovered: usize,
+    corrupt_skipped: usize,
 }
 
 /// Stable identity of "this request line produced this job over this
@@ -64,11 +73,16 @@ impl Journal {
     /// malformed records are skipped, never fatal.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
         let mut completed = HashMap::new();
+        let mut corrupt_skipped = 0;
         if let Ok(f) = File::open(path) {
             for line in BufReader::new(f).lines() {
                 let line = line?;
-                if let Some((key, entry)) = parse_record(&line) {
-                    completed.insert(key, entry);
+                match parse_record(&line) {
+                    Parsed::Entry(key, entry) => {
+                        completed.insert(key, entry);
+                    }
+                    Parsed::Corrupt => corrupt_skipped += 1,
+                    Parsed::Torn => {}
                 }
             }
         }
@@ -79,6 +93,7 @@ impl Journal {
             file,
             completed,
             recovered,
+            corrupt_skipped,
         })
     }
 
@@ -90,6 +105,15 @@ impl Journal {
     /// How many completed outcomes the journal replayed at open time.
     pub fn recovered(&self) -> usize {
         self.recovered
+    }
+
+    /// How many interior records were skipped at open time because
+    /// their checksum did not match their content. A torn final line
+    /// (an interrupted append) is expected crash damage and is *not*
+    /// counted here — this counts records that were fully written and
+    /// then changed.
+    pub fn corrupt_skipped(&self) -> usize {
+        self.corrupt_skipped
     }
 
     /// The replayed (or since-recorded) entry for `key`, if any.
@@ -110,11 +134,17 @@ impl Journal {
         status: &JobStatus,
         summary: &str,
     ) -> std::io::Result<()> {
-        let line = format!(
-            "{{\"key\":\"{key:016x}\",\"id\":\"{}\",\"status\":\"{}\",\"summary\":\"{}\"}}",
+        let body = format!(
+            "{{\"key\":\"{key:016x}\",\"id\":\"{}\",\"status\":\"{}\",\"summary\":\"{}\"",
             escape(id),
             status.kind(),
             escape(summary),
+        );
+        // The checksum covers everything before its own field, so a
+        // replayer can verify without re-canonicalizing.
+        let line = format!(
+            "{body},\"c\":\"{:016x}\"}}",
+            slo_chaos::fnv1a(body.as_bytes())
         );
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
@@ -136,20 +166,47 @@ impl Journal {
 // the encoding anyway.
 use proto::{escape, field_str};
 
-fn parse_record(line: &str) -> Option<(u64, JournalEntry)> {
+enum Parsed {
+    /// A complete, (when checksummed) verified record.
+    Entry(u64, JournalEntry),
+    /// An intact frame whose checksum disagrees with its content.
+    Corrupt,
+    /// Not a complete record at all: a torn tail or a foreign line.
+    Torn,
+}
+
+fn parse_record(line: &str) -> Parsed {
     let line = line.trim();
     if !line.starts_with('{') || !line.ends_with('}') {
-        return None; // torn or foreign line
+        return Parsed::Torn;
     }
-    let key = u64::from_str_radix(&field_str(line, "key")?, 16).ok()?;
-    Some((
-        key,
-        JournalEntry {
-            id: field_str(line, "id")?,
-            status: field_str(line, "status")?,
-            summary: field_str(line, "summary")?,
-        },
-    ))
+    // A `"c"` field makes the record self-verifying; its absence marks
+    // a pre-checksum record, which replays untested (versioning by
+    // presence). `escape` turns every interior quote into `\"`, so an
+    // unescaped `,"c":"` can only be the real field.
+    if let Some(at) = line.rfind(",\"c\":\"") {
+        let Some(sum) = field_str(line, "c").and_then(|s| u64::from_str_radix(&s, 16).ok()) else {
+            return Parsed::Corrupt;
+        };
+        if slo_chaos::fnv1a(&line.as_bytes()[..at]) != sum {
+            return Parsed::Corrupt;
+        }
+    }
+    let fields = (|| {
+        let key = u64::from_str_radix(&field_str(line, "key")?, 16).ok()?;
+        Some((
+            key,
+            JournalEntry {
+                id: field_str(line, "id")?,
+                status: field_str(line, "status")?,
+                summary: field_str(line, "summary")?,
+            },
+        ))
+    })();
+    match fields {
+        Some((key, entry)) => Parsed::Entry(key, entry),
+        None => Parsed::Torn,
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +272,73 @@ mod tests {
         );
         assert!(j.lookup(1).is_some());
         assert!(j.lookup(2).is_none());
+        assert_eq!(
+            j.corrupt_skipped(),
+            0,
+            "a torn tail is crash damage, not corruption"
+        );
+    }
+
+    #[test]
+    fn corrupted_interior_line_is_skipped_and_counted() {
+        let p = tmp("corrupt.jsonl");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::open(&p).expect("open");
+            j.record(1, "a", &failed("x"), "s1").expect("record");
+            j.record(2, "b", &failed("x"), "summary-two")
+                .expect("record");
+            j.record(3, "c", &failed("x"), "s3").expect("record");
+        }
+        // Flip a byte inside the middle record's summary; the line
+        // still parses, but the checksum no longer matches.
+        let text = std::fs::read_to_string(&p).expect("read");
+        let tampered = text.replace("summary-two", "summary-2wo");
+        assert_ne!(text, tampered, "the tamper target must exist");
+        std::fs::write(&p, tampered).expect("write");
+
+        let j = Journal::open(&p).expect("reopen");
+        assert_eq!(j.recovered(), 2, "the tampered record is not trusted");
+        assert!(j.lookup(1).is_some());
+        assert!(j.lookup(2).is_none(), "corrupt entry never replays");
+        assert!(j.lookup(3).is_some(), "records after the damage replay");
+        assert_eq!(j.corrupt_skipped(), 1);
+    }
+
+    #[test]
+    fn pre_checksum_records_still_replay() {
+        let p = tmp("legacy.jsonl");
+        let _ = std::fs::remove_file(&p);
+        // A record exactly as the pre-checksum writer emitted it.
+        std::fs::write(
+            &p,
+            "{\"key\":\"000000000000002a\",\"id\":\"old\",\"status\":\"failed\",\"summary\":\"s\"}\n",
+        )
+        .expect("write");
+        let j = Journal::open(&p).expect("open");
+        assert_eq!(j.recovered(), 1, "the checksum field is optional");
+        assert_eq!(j.corrupt_skipped(), 0);
+        assert_eq!(j.lookup(0x2a).expect("entry").id, "old");
+    }
+
+    #[test]
+    fn summary_containing_a_fake_checksum_field_is_not_misparsed() {
+        let p = tmp("fakefield.jsonl");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::open(&p).expect("open");
+            // The escaped quotes keep this from looking like a real
+            // `"c"` field to the verifier.
+            j.record(7, "a", &failed("x"), "tricky,\"c\":\"0000\" tail")
+                .expect("record");
+        }
+        let j = Journal::open(&p).expect("reopen");
+        assert_eq!(j.recovered(), 1);
+        assert_eq!(j.corrupt_skipped(), 0);
+        assert_eq!(
+            j.lookup(7).expect("entry").summary,
+            "tricky,\"c\":\"0000\" tail"
+        );
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! * **Crash recovery** ([`journal::Journal`]): `slo serve` appends
 //!   every outcome to a JSONL write-ahead journal and replays it on
 //!   restart, so a killed session never recomputes completed jobs.
+//! * **Persistent analysis store** ([`store::AnalysisStore`]): an
+//!   append-only, crash-safe, checksummed segment store layered under
+//!   the LRU (`slo batch/serve --store <dir>`) — analyses survive
+//!   restarts and SIGKILL, corrupt records are dropped, counted and
+//!   recomputed, never served, and compaction reclaims dead bytes
+//!   under a stale-safe lock.
 //! * **One wire protocol** ([`proto`]): versioned [`Request`] /
 //!   [`Response`] types — manifest attribute syntax in, one-line JSON
 //!   out — shared verbatim by stdin serve, the TCP ingress and
@@ -66,6 +72,7 @@ pub mod net;
 pub mod pool;
 pub mod proto;
 pub mod service;
+pub mod store;
 
 pub use job::{
     Budget, Degradation, Fault, Job, JobInput, JobMetrics, JobOutcome, JobStatus, Optimized,
@@ -78,6 +85,7 @@ pub use net::{NetConfig, NetServer, NetSnapshot};
 pub use pool::{par_map_bounded, par_map_supervised};
 pub use proto::{legacy_line, Reply, Request, Response, Session, WireError, PROTO_VERSION};
 pub use service::{Service, ServiceConfig, ServiceConfigBuilder};
+pub use store::{AnalysisStore, StoreCounters};
 
 // The chaos vocabulary the service API speaks, re-exported so CLI and
 // bench consumers need no direct `slo-chaos` dependency.

@@ -61,6 +61,11 @@ impl ServiceMetrics {
             cache_misses: ld(&self.cache_misses),
             cache_evictions: ld(&self.cache_evictions),
             cache_reverified: ld(&self.cache_reverified),
+            store_hits: 0,
+            store_misses: 0,
+            store_corrupt_drops: 0,
+            store_compactions: 0,
+            store_bytes: 0,
             faults_injected: [0; slo_chaos::NUM_SITES],
             queue_wait_ns: ld(&self.queue_wait_ns),
             fe_ns: ld(&self.fe_ns),
@@ -106,6 +111,18 @@ pub struct MetricsSnapshot {
     pub cache_evictions: u64,
     /// Cache entries dropped by fingerprint re-verification.
     pub cache_reverified: u64,
+    /// Persistent-store reads that verified and decoded (all zero
+    /// without a `--store`; filled by [`crate::Service::metrics`]).
+    pub store_hits: u64,
+    /// Persistent-store reads of absent keys.
+    pub store_misses: u64,
+    /// Persistent-store records dropped by checksum or structural
+    /// verification — never served.
+    pub store_corrupt_drops: u64,
+    /// Completed persistent-store compaction passes.
+    pub store_compactions: u64,
+    /// Bytes appended to persistent-store segments.
+    pub store_bytes: u64,
     /// Faults injected by the service's chaos plan, per
     /// [`slo_chaos::Site`] (all zero outside chaos campaigns; indexed
     /// like [`slo_chaos::ALL_SITES`]).
@@ -130,6 +147,17 @@ impl MetricsSnapshot {
             return 0.0;
         }
         self.cache_hits as f64 / total as f64
+    }
+
+    /// Persistent-store hit rate in `[0, 1]` (`0` when no store was
+    /// attached or never asked). Across a restart this is the
+    /// warm-start rate: hits here are analyses another process wrote.
+    pub fn store_hit_rate(&self) -> f64 {
+        let total = self.store_hits + self.store_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.store_hits as f64 / total as f64
     }
 
     /// The difference `self - earlier`, for per-batch readings off a
@@ -159,6 +187,11 @@ impl MetricsSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             cache_reverified: self.cache_reverified - earlier.cache_reverified,
+            store_hits: self.store_hits - earlier.store_hits,
+            store_misses: self.store_misses - earlier.store_misses,
+            store_corrupt_drops: self.store_corrupt_drops - earlier.store_corrupt_drops,
+            store_compactions: self.store_compactions - earlier.store_compactions,
+            store_bytes: self.store_bytes - earlier.store_bytes,
             faults_injected,
             queue_wait_ns: self.queue_wait_ns - earlier.queue_wait_ns,
             fe_ns: self.fe_ns - earlier.fe_ns,
@@ -218,6 +251,16 @@ impl MetricsSnapshot {
         num("cache_evictions", self.cache_evictions as f64, &mut s);
         num("cache_reverified", self.cache_reverified as f64, &mut s);
         num("cache_hit_rate", self.cache_hit_rate(), &mut s);
+        num("store_hits", self.store_hits as f64, &mut s);
+        num("store_misses", self.store_misses as f64, &mut s);
+        num(
+            "store_corrupt_drops",
+            self.store_corrupt_drops as f64,
+            &mut s,
+        );
+        num("store_compactions", self.store_compactions as f64, &mut s);
+        num("store_bytes", self.store_bytes as f64, &mut s);
+        num("store_hit_rate", self.store_hit_rate(), &mut s);
         num("queue_wait_ns", self.queue_wait_ns as f64, &mut s);
         num("fe_ns", self.fe_ns as f64, &mut s);
         num("ipa_ns", self.ipa_ns as f64, &mut s);
@@ -295,6 +338,20 @@ impl MetricsSnapshot {
              # HELP slo_cache_hit_rate Analysis-cache hit rate in [0, 1].\n\
              # TYPE slo_cache_hit_rate gauge\n\
              slo_cache_hit_rate {}\n\
+             # HELP slo_store_events_total Persistent-store events.\n\
+             # TYPE slo_store_events_total counter\n\
+             slo_store_events_total{{event=\"hit\"}} {}\n\
+             slo_store_events_total{{event=\"miss\"}} {}\n\
+             slo_store_events_total{{event=\"corrupt_drop\"}} {}\n\
+             # HELP slo_store_compactions_total Persistent-store compaction passes.\n\
+             # TYPE slo_store_compactions_total counter\n\
+             slo_store_compactions_total {}\n\
+             # HELP slo_store_bytes_written_total Bytes appended to store segments.\n\
+             # TYPE slo_store_bytes_written_total counter\n\
+             slo_store_bytes_written_total {}\n\
+             # HELP slo_store_hit_rate Persistent-store hit rate in [0, 1].\n\
+             # TYPE slo_store_hit_rate gauge\n\
+             slo_store_hit_rate {}\n\
              # HELP slo_phase_seconds_total Cumulative wall time per phase.\n\
              # TYPE slo_phase_seconds_total counter\n\
              slo_phase_seconds_total{{phase=\"queue_wait\"}} {}\n\
@@ -307,6 +364,12 @@ impl MetricsSnapshot {
             self.cache_evictions,
             self.cache_reverified,
             self.cache_hit_rate(),
+            self.store_hits,
+            self.store_misses,
+            self.store_corrupt_drops,
+            self.store_compactions,
+            self.store_bytes,
+            self.store_hit_rate(),
             secs(self.queue_wait_ns),
             secs(self.fe_ns),
             secs(self.ipa_ns),
@@ -365,6 +428,11 @@ mod tests {
             cache_hits: 2,
             cache_misses: 2,
             cache_reverified: 1,
+            store_hits: 3,
+            store_misses: 1,
+            store_corrupt_drops: 2,
+            store_compactions: 1,
+            store_bytes: 4096,
             faults_injected,
             fe_ns: 1_500_000,
             ..Default::default()
@@ -381,6 +449,10 @@ mod tests {
             "slo_faults_injected_total",
             "slo_cache_events_total",
             "slo_cache_hit_rate",
+            "slo_store_events_total",
+            "slo_store_compactions_total",
+            "slo_store_bytes_written_total",
+            "slo_store_hit_rate",
             "slo_phase_seconds_total",
         ] {
             assert!(s.has(family), "missing family {family}");
@@ -392,6 +464,11 @@ mod tests {
         assert!(text.contains("slo_faults_injected_total{site=\"vm-alloc\"} 4"));
         assert!(text.contains("slo_cache_events_total{event=\"reverified\"} 1"));
         assert!(text.contains("slo_cache_hit_rate 0.5"));
+        assert!(text.contains("slo_store_events_total{event=\"hit\"} 3"));
+        assert!(text.contains("slo_store_events_total{event=\"corrupt_drop\"} 2"));
+        assert!(text.contains("slo_store_compactions_total 1"));
+        assert!(text.contains("slo_store_bytes_written_total 4096"));
+        assert!(text.contains("slo_store_hit_rate 0.75"));
     }
 
     #[test]
@@ -405,6 +482,28 @@ mod tests {
         let j = m.to_json();
         assert!(j.starts_with("{\"jobs\": 2"));
         assert!(j.contains("\"cache_hit_rate\": 0.5"));
+        assert!(j.contains("\"store_hits\": 0"));
+        assert!(j.contains("\"store_hit_rate\": 0"));
         assert!(j.ends_with('}'));
+    }
+
+    #[test]
+    fn since_subtracts_store_counters() {
+        let a = MetricsSnapshot {
+            store_hits: 2,
+            store_bytes: 100,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            store_hits: 10,
+            store_misses: 3,
+            store_bytes: 700,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.store_hits, 8);
+        assert_eq!(d.store_misses, 3);
+        assert_eq!(d.store_bytes, 600);
+        assert!((d.store_hit_rate() - 8.0 / 11.0).abs() < 1e-12);
     }
 }

@@ -434,12 +434,42 @@ pub(crate) fn unescape(s: &str) -> String {
     out
 }
 
+/// Find `tag` (a `"name":`-shaped prefix) at *top level* of a flat
+/// object line — never inside a quoted string value, where escaped
+/// content can reproduce the byte sequence of any field tag (e.g. a
+/// message containing `"types":999`). Returns the byte index just past
+/// the tag. Sound because [`escape`] backslashes every interior quote:
+/// a tag's unescaped leading quote can only occur where a string opens,
+/// and a string value's body can never start with `name":` unescaped.
+fn top_level_find(line: &str, tag: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for i in 0..bytes.len() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if bytes[i] == b'\\' {
+                escaped = true;
+            } else if bytes[i] == b'"' {
+                in_string = false;
+            }
+        } else if bytes[i] == b'"' {
+            if line[i..].starts_with(tag) {
+                return Some(i + tag.len());
+            }
+            in_string = true;
+        }
+    }
+    None
+}
+
 /// Extract the string value of `"name":"..."` from a flat object line,
 /// honoring backslash escapes. `None` on absence, `null`, or
 /// malformation.
 pub(crate) fn field_str(line: &str, name: &str) -> Option<String> {
     let tag = format!("\"{name}\":\"");
-    let start = line.find(&tag)? + tag.len();
+    let start = top_level_find(line, &tag)?;
     let rest = &line[start..];
     let mut escaped = false;
     for (i, c) in rest.char_indices() {
@@ -458,7 +488,7 @@ pub(crate) fn field_str(line: &str, name: &str) -> Option<String> {
 /// or `null`.
 pub(crate) fn field_u64(line: &str, name: &str) -> Option<u64> {
     let tag = format!("\"{name}\":");
-    let start = line.find(&tag)? + tag.len();
+    let start = top_level_find(line, &tag)?;
     let digits: String = line[start..]
         .chars()
         .take_while(char::is_ascii_digit)
@@ -469,7 +499,7 @@ pub(crate) fn field_u64(line: &str, name: &str) -> Option<u64> {
 /// Extract the boolean value of `"name":true|false`.
 pub(crate) fn field_bool(line: &str, name: &str) -> Option<bool> {
     let tag = format!("\"{name}\":");
-    let start = line.find(&tag)? + tag.len();
+    let start = top_level_find(line, &tag)?;
     let rest = &line[start..];
     if rest.starts_with("true") {
         Some(true)

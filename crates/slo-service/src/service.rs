@@ -2,7 +2,7 @@
 //!
 //! [`Service::run_batch`] accepts many jobs, shards them across a
 //! bounded worker pool, and returns one structured [`JobOutcome`] per
-//! job. Each job runs behind its [`Budget`] with `catch_unwind` panic
+//! job. Each job runs behind its [`Budget`](crate::job::Budget) with `catch_unwind` panic
 //! isolation and a graceful-degradation ladder:
 //!
 //! 1. full pipeline + differential verification + evaluation,
@@ -33,6 +33,7 @@ use crate::job::{
 };
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::pool::par_map_supervised;
+use crate::store::AnalysisStore;
 use slo::analysis::{ipa_fingerprint, WeightScheme};
 use slo::{Analysis, Evaluation};
 use slo_chaos::{fnv1a, Clock, FaultPlan, RetryPolicy};
@@ -101,6 +102,7 @@ impl ServiceConfigBuilder {
 pub struct Service {
     cfg: ServiceConfig,
     cache: Mutex<AnalysisCache>,
+    store: Option<Mutex<AnalysisStore>>,
     metrics: ServiceMetrics,
     trace: slo_obs::Recorder,
     chaos: FaultPlan,
@@ -140,12 +142,42 @@ impl Service {
     ) -> Service {
         Service {
             cache: Mutex::new(AnalysisCache::new(cfg.cache_capacity)),
+            store: None,
             metrics: ServiceMetrics::default(),
             cfg,
             trace,
             chaos,
             retry,
             clock,
+        }
+    }
+
+    /// Attach a persistent [`AnalysisStore`] as the durable tier under
+    /// the in-memory LRU: a cache miss falls through to disk before
+    /// recomputing, and fresh computations are written back, so
+    /// analyses survive process restarts (`slo batch/serve --store`).
+    pub fn with_store(mut self, store: AnalysisStore) -> Service {
+        self.store = Some(Mutex::new(store));
+        self
+    }
+
+    /// A copy of the persistent store's counters, when one is attached.
+    pub fn store_counters(&self) -> Option<crate::store::StoreCounters> {
+        self.store
+            .as_ref()
+            .map(|s| s.lock().expect("store lock").counters())
+    }
+
+    /// Compact the attached persistent store (no-op without one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalysisStore::compact`] errors, including
+    /// [`std::io::ErrorKind::WouldBlock`] for a live contending lock.
+    pub fn compact_store(&self) -> std::io::Result<()> {
+        match &self.store {
+            Some(s) => s.lock().expect("store lock").compact(),
+            None => Ok(()),
         }
     }
 
@@ -176,6 +208,13 @@ impl Service {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         snap.faults_injected = self.chaos.injected_by_site();
+        if let Some(c) = self.store_counters() {
+            snap.store_hits = c.hits;
+            snap.store_misses = c.misses;
+            snap.store_corrupt_drops = c.corrupt_drops;
+            snap.store_compactions = c.compactions;
+            snap.store_bytes = c.bytes_written;
+        }
         snap
     }
 
@@ -436,12 +475,46 @@ impl Service {
             }
             Lookup::Corrupt | Lookup::Miss => {
                 self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                let a = Arc::new(slo::analyze_with(prog, &scheme, &job.config, &self.trace));
-                {
-                    let mut m = jm.borrow_mut();
-                    m.fe = a.fe;
-                    m.ipa = a.ipa_time;
-                }
+                // The durable tier: an LRU miss falls through to the
+                // persistent store before recomputing. A store hit is
+                // promoted into the LRU; a corrupt or absent record is
+                // a miss and the fresh computation is written back.
+                let stored = self
+                    .store
+                    .as_ref()
+                    .and_then(|s| s.lock().expect("store lock").get(key));
+                let a = match stored {
+                    Some(a) => {
+                        self.trace.instant(
+                            "service",
+                            "store-hit",
+                            vec![("job", job.id.as_str().into())],
+                        );
+                        jm.borrow_mut().cache_hit = true;
+                        a
+                    }
+                    None => {
+                        let a =
+                            Arc::new(slo::analyze_with(prog, &scheme, &job.config, &self.trace));
+                        {
+                            let mut m = jm.borrow_mut();
+                            m.fe = a.fe;
+                            m.ipa = a.ipa_time;
+                        }
+                        if let Some(s) = &self.store {
+                            if let Err(e) = s.lock().expect("store lock").put(key, &a) {
+                                // A failed write only costs durability:
+                                // the job itself proceeds from memory.
+                                self.trace.instant(
+                                    "service",
+                                    "store-put-error",
+                                    vec![("error", e.to_string().into())],
+                                );
+                            }
+                        }
+                        a
+                    }
+                };
                 self.cache.lock().expect("cache lock").insert_chaotic(
                     key,
                     Arc::clone(&a),

@@ -533,3 +533,94 @@ fn seeded_chaos_never_breaks_the_ladder_or_the_bits() {
         }
     }
 }
+
+// --- persistent store -------------------------------------------------
+
+fn store_dir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("slo-svc-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn service_with_store(workers: usize, cache: usize, dir: &std::path::Path) -> Service {
+    let store = slo_service::AnalysisStore::open(
+        dir,
+        slo::obs::Recorder::disabled(),
+        slo_service::FaultPlan::disabled(),
+    )
+    .expect("open store");
+    service(workers, cache).with_store(store)
+}
+
+/// The warm-start contract: a fresh service instance (cold LRU) over a
+/// populated store serves every analysis from disk, and the outcomes
+/// are bit-identical to a storeless run.
+#[test]
+fn store_warm_start_serves_from_disk_with_identical_bits() {
+    let dir = store_dir("warm");
+    let jobs: Vec<Job> = (0..8)
+        .map(|i| {
+            Job::from_source(format!("j{i}"), SAMPLE).scheme(if i % 2 == 0 {
+                SchemeSpec::Ispbo
+            } else {
+                SchemeSpec::Spbo
+            })
+        })
+        .collect();
+    let reference: Vec<String> = service(1, 64).run_batch(&jobs).iter().map(digest).collect();
+
+    let cold = service_with_store(1, 64, &dir);
+    let first: Vec<String> = cold.run_batch(&jobs).iter().map(digest).collect();
+    let m = cold.metrics();
+    assert_eq!(m.store_hits, 0, "an empty store cannot hit");
+    assert_eq!(m.store_misses, 2, "one miss per unique (source, scheme)");
+    assert!(m.store_bytes > 0, "computed analyses were persisted");
+    assert_eq!(first, reference);
+    drop(cold);
+
+    // A new service instance: the LRU is cold, the disk is warm.
+    let warm = service_with_store(1, 64, &dir);
+    let second: Vec<String> = warm.run_batch(&jobs).iter().map(digest).collect();
+    let m = warm.metrics();
+    assert_eq!(m.store_hits, 2, "every unique analysis came from disk");
+    assert_eq!(m.store_misses, 0);
+    assert!((m.store_hit_rate() - 1.0).abs() < 1e-12);
+    assert_eq!(second, reference, "disk-served bits match computed bits");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupted store records are dropped and recomputed — the outcomes
+/// stay bit-identical and nothing corrupt is ever served.
+#[test]
+fn store_corruption_recomputes_identical_bits() {
+    let dir = store_dir("rot");
+    let jobs = [Job::from_source("x", SAMPLE)];
+    let reference = digest(&service(1, 64).run_batch(&jobs)[0]);
+
+    let svc = service_with_store(1, 64, &dir);
+    svc.run_batch(&jobs);
+    drop(svc);
+
+    // Rot one byte inside every segment's first record payload.
+    for entry in std::fs::read_dir(&dir).expect("dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "seg" || e == "open") {
+            let mut bytes = std::fs::read(&path).expect("read");
+            if bytes.len() > 40 {
+                bytes[24] ^= 0x20;
+                std::fs::write(&path, &bytes).expect("write");
+            }
+        }
+    }
+
+    let svc = service_with_store(1, 64, &dir);
+    let out = digest(&svc.run_batch(&jobs)[0]);
+    let m = svc.metrics();
+    assert_eq!(out, reference, "recomputed bits match the clean run");
+    assert!(
+        m.store_corrupt_drops >= 1,
+        "the rotted record was observed and dropped"
+    );
+    assert_eq!(m.store_hits, 0, "a corrupt record is never served");
+    let _ = std::fs::remove_dir_all(&dir);
+}

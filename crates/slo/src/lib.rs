@@ -56,6 +56,7 @@
 
 pub mod error;
 pub mod pipeline;
+pub mod serial;
 
 pub use error::SloError;
 pub use pipeline::{
@@ -63,6 +64,7 @@ pub use pipeline::{
     collect_profile_with, compile, compile_with, evaluate, Analysis, CompileResult, Evaluation,
     PhaseTimings, PipelineConfig, PipelineConfigBuilder,
 };
+pub use serial::{decode_analysis, encode_analysis, SerialError, ANALYSIS_VERSION};
 
 pub use slo_obs as obs;
 

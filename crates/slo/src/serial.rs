@@ -1,0 +1,642 @@
+//! Versioned binary serialization of [`Analysis`] for the persistent
+//! analysis store.
+//!
+//! The in-memory analysis cache dies with the process; the persistent
+//! store (`slo-service`'s segment store) survives it, so the FE + IPA
+//! half of the pipeline must round-trip through disk bytes: legality
+//! verdicts ([`IpaResult`]), affinity graphs, field read/write counts,
+//! attributed d-cache samples and the [`TransformPlan`].
+//!
+//! The workspace is deliberately serde-free, so the format is a small
+//! hand-rolled little-endian binary layout:
+//!
+//! * a 4-byte magic (`SLOA`) plus a `u16` version — decoding rejects
+//!   unknown versions instead of misreading them;
+//! * length-prefixed collections, with map entries emitted in sorted
+//!   key order so encoding is deterministic: the same analysis always
+//!   produces the same bytes (and therefore the same store checksum);
+//! * `f64` by bit pattern — weights and sample estimates round-trip
+//!   exactly, keeping replayed-from-store outcomes bit-identical to
+//!   recomputed ones.
+//!
+//! Integrity is layered *above* this module: the store wraps each
+//! encoded record in a length-prefixed header with an FNV checksum over
+//! the full record bytes (note that [`ipa_fingerprint`] digests only
+//! the planner-relevant subset of the IPA result, so it alone cannot
+//! detect bit rot in, say, an affinity weight). Decoding here still
+//! validates structurally — truncation, bad tags and trailing garbage
+//! all fail loudly — so a record that passes both the checksum and
+//! this decoder is safe to serve.
+//!
+//! [`ipa_fingerprint`]: slo_analysis::ipa_fingerprint
+
+use crate::pipeline::Analysis;
+use slo_analysis::legality::{AllocSite, LegalityTest, TypeObservations};
+use slo_analysis::{AffinityGraph, FieldCounts, FieldDcache, IpaResult, TypeVerdict};
+use slo_ir::instr::{BlockId, FuncId, InstrRef};
+use slo_ir::RecordId;
+use slo_transform::{TransformPlan, TypeTransform};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+/// Magic prefix of an encoded analysis record.
+pub const ANALYSIS_MAGIC: [u8; 4] = *b"SLOA";
+
+/// Current format version; bump on any layout change.
+pub const ANALYSIS_VERSION: u16 = 1;
+
+/// Why a byte buffer failed to decode as an [`Analysis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The magic prefix is not `SLOA`.
+    BadMagic,
+    /// The version is newer (or older) than this decoder speaks.
+    UnsupportedVersion(u16),
+    /// An enum tag byte had no matching variant.
+    BadTag(&'static str, u8),
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::Truncated => write!(f, "truncated analysis record"),
+            SerialError::BadMagic => write!(f, "bad magic (not an analysis record)"),
+            SerialError::UnsupportedVersion(v) => {
+                write!(f, "unsupported analysis format version {v}")
+            }
+            SerialError::BadTag(what, t) => write!(f, "invalid {what} tag {t}"),
+            SerialError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after analysis"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// `LegalityTest` variants in tag order (tag = index). Append-only:
+/// reordering or removing entries changes the meaning of stored bytes.
+const TESTS: [LegalityTest; 9] = [
+    LegalityTest::Cstt,
+    LegalityTest::Cstf,
+    LegalityTest::Atkn,
+    LegalityTest::Libc,
+    LegalityTest::Ind,
+    LegalityTest::Smal,
+    LegalityTest::Mset,
+    LegalityTest::Nest,
+    LegalityTest::Escape,
+];
+
+fn test_tag(t: LegalityTest) -> u8 {
+    TESTS
+        .iter()
+        .position(|&x| x == t)
+        .expect("every LegalityTest has a tag") as u8
+}
+
+// ---------------------------------------------------------------------------
+// primitive writer / reader
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn vec_u32(&mut self, v: &[u32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        let end = self.pos.checked_add(n).ok_or(SerialError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SerialError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SerialError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SerialError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, SerialError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, SerialError> {
+        Ok(self.u8()? != 0)
+    }
+    /// A collection length whose elements occupy at least `min_elem`
+    /// bytes each — rejects counts the remaining buffer cannot hold, so
+    /// a corrupted length field fails fast instead of over-allocating.
+    fn count(&mut self, min_elem: usize) -> Result<usize, SerialError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.buf.len() - self.pos {
+            return Err(SerialError::Truncated);
+        }
+        Ok(n)
+    }
+    fn vec_u32(&mut self) -> Result<Vec<u32>, SerialError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// encode
+// ---------------------------------------------------------------------------
+
+/// Encode `a` into the versioned binary record format. Deterministic:
+/// equal analyses produce equal bytes.
+pub fn encode_analysis(a: &Analysis) -> Vec<u8> {
+    let mut w = Writer::default();
+    w.buf.extend_from_slice(&ANALYSIS_MAGIC);
+    w.u16(ANALYSIS_VERSION);
+
+    // --- IPA verdicts ---------------------------------------------------
+    w.u32(a.ipa.verdicts.len() as u32);
+    for v in &a.ipa.verdicts {
+        w.u32(v.record.0);
+        encode_observations(&mut w, &v.attrs);
+        w.u8(v.invalid.len() as u8);
+        for &t in &v.invalid {
+            w.u8(test_tag(t));
+        }
+    }
+
+    // --- affinity graphs (sorted by record id) --------------------------
+    let mut graph_ids: Vec<&RecordId> = a.graphs.keys().collect();
+    graph_ids.sort_unstable();
+    w.u32(graph_ids.len() as u32);
+    for rid in graph_ids {
+        let g = &a.graphs[rid];
+        w.u32(rid.0);
+        w.u32(g.record.0);
+        w.u32(g.nfields as u32);
+        let edges: Vec<((u32, u32), f64)> = g.edges().collect();
+        w.u32(edges.len() as u32);
+        for ((x, y), weight) in edges {
+            w.u32(x);
+            w.u32(y);
+            w.f64(weight);
+        }
+    }
+
+    // --- field read/write counts (sorted by (record, field)) ------------
+    let mut count_keys: Vec<&(RecordId, u32)> = a.counts.keys().collect();
+    count_keys.sort_unstable();
+    w.u32(count_keys.len() as u32);
+    for k in count_keys {
+        let c = &a.counts[k];
+        w.u32(k.0 .0);
+        w.u32(k.1);
+        w.f64(c.reads);
+        w.f64(c.writes);
+    }
+
+    // --- attributed d-cache samples (optional) ---------------------------
+    match &a.dcache {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            let mut keys: Vec<&(RecordId, u32)> = d.keys().collect();
+            keys.sort_unstable();
+            w.u32(keys.len() as u32);
+            for k in keys {
+                let s = &d[k];
+                w.u32(k.0 .0);
+                w.u32(k.1);
+                w.f64(s.misses);
+                w.f64(s.total_latency);
+                w.f64(s.accesses);
+            }
+        }
+    }
+
+    // --- transform plan (sorted by record id) ----------------------------
+    let mut plan_ids: Vec<&RecordId> = a.plan.types.keys().collect();
+    plan_ids.sort_unstable();
+    w.u32(plan_ids.len() as u32);
+    for rid in plan_ids {
+        w.u32(rid.0);
+        encode_transform(&mut w, &a.plan.types[rid]);
+    }
+
+    // --- phase timings ----------------------------------------------------
+    w.u64(a.fe.as_nanos() as u64);
+    w.u64(a.ipa_time.as_nanos() as u64);
+    w.buf
+}
+
+fn encode_observations(w: &mut Writer, o: &TypeObservations) {
+    w.u8(o.violations.len() as u8);
+    for (&t, &c) in &o.violations {
+        w.u8(test_tag(t));
+        w.u32(c);
+    }
+    w.bool(o.has_global_var);
+    w.bool(o.has_global_ptr);
+    w.bool(o.has_local_ptr);
+    w.bool(o.has_static_array);
+    w.bool(o.dyn_alloc);
+    w.bool(o.freed);
+    w.bool(o.realloced);
+    w.u32(o.alloc_sites.len() as u32);
+    for s in &o.alloc_sites {
+        w.u32(s.at.func.0);
+        w.u32(s.at.block.0);
+        w.u32(s.at.index);
+        match s.const_count {
+            None => w.u8(0),
+            Some(n) => {
+                w.u8(1);
+                w.i64(n);
+            }
+        }
+        w.bool(s.zeroed);
+    }
+    w.u32(o.escapes_to.len() as u32);
+    for f in &o.escapes_to {
+        w.u32(f.0);
+    }
+}
+
+fn encode_transform(w: &mut Writer, t: &TypeTransform) {
+    match t {
+        TypeTransform::None => w.u8(0),
+        TypeTransform::RemoveDead { dead } => {
+            w.u8(1);
+            w.vec_u32(dead);
+        }
+        TypeTransform::Split {
+            hot_order,
+            cold,
+            dead,
+        } => {
+            w.u8(2);
+            w.vec_u32(hot_order);
+            w.vec_u32(cold);
+            w.vec_u32(dead);
+        }
+        TypeTransform::Peel { dead } => {
+            w.u8(3);
+            w.vec_u32(dead);
+        }
+        TypeTransform::Interleave { dead } => {
+            w.u8(4);
+            w.vec_u32(dead);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// decode
+// ---------------------------------------------------------------------------
+
+/// Decode bytes produced by [`encode_analysis`].
+///
+/// # Errors
+///
+/// [`SerialError`] on a bad magic, an unsupported version, truncation,
+/// an invalid tag, or trailing bytes — any structural damage the
+/// store's checksum somehow missed.
+pub fn decode_analysis(bytes: &[u8]) -> Result<Analysis, SerialError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != ANALYSIS_MAGIC {
+        return Err(SerialError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != ANALYSIS_VERSION {
+        return Err(SerialError::UnsupportedVersion(version));
+    }
+
+    let nverdicts = r.count(1)?;
+    let mut verdicts = Vec::with_capacity(nverdicts);
+    for _ in 0..nverdicts {
+        let record = RecordId(r.u32()?);
+        let attrs = decode_observations(&mut r)?;
+        let ninvalid = r.u8()? as usize;
+        let mut invalid = BTreeSet::new();
+        for _ in 0..ninvalid {
+            invalid.insert(decode_test(&mut r)?);
+        }
+        verdicts.push(TypeVerdict {
+            record,
+            attrs,
+            invalid,
+        });
+    }
+
+    let ngraphs = r.count(1)?;
+    let mut graphs = HashMap::with_capacity(ngraphs);
+    for _ in 0..ngraphs {
+        let key = RecordId(r.u32()?);
+        let record = RecordId(r.u32()?);
+        let nfields = r.u32()? as usize;
+        let nedges = r.count(16)?;
+        let mut edges = Vec::with_capacity(nedges);
+        for _ in 0..nedges {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            let weight = r.f64()?;
+            edges.push(((a, b), weight));
+        }
+        graphs.insert(key, AffinityGraph::from_edges(record, nfields, edges));
+    }
+
+    let ncounts = r.count(24)?;
+    let mut counts = HashMap::with_capacity(ncounts);
+    for _ in 0..ncounts {
+        let rid = RecordId(r.u32()?);
+        let field = r.u32()?;
+        let reads = r.f64()?;
+        let writes = r.f64()?;
+        counts.insert((rid, field), FieldCounts { reads, writes });
+    }
+
+    let dcache = if r.bool()? {
+        let n = r.count(32)?;
+        let mut d = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let rid = RecordId(r.u32()?);
+            let field = r.u32()?;
+            let misses = r.f64()?;
+            let total_latency = r.f64()?;
+            let accesses = r.f64()?;
+            d.insert(
+                (rid, field),
+                FieldDcache {
+                    misses,
+                    total_latency,
+                    accesses,
+                },
+            );
+        }
+        Some(d)
+    } else {
+        None
+    };
+
+    let nplans = r.count(5)?;
+    let mut types = HashMap::with_capacity(nplans);
+    for _ in 0..nplans {
+        let rid = RecordId(r.u32()?);
+        types.insert(rid, decode_transform(&mut r)?);
+    }
+
+    let fe = Duration::from_nanos(r.u64()?);
+    let ipa_time = Duration::from_nanos(r.u64()?);
+    if r.pos != bytes.len() {
+        return Err(SerialError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(Analysis {
+        ipa: IpaResult { verdicts },
+        graphs,
+        counts,
+        dcache,
+        plan: TransformPlan { types },
+        fe,
+        ipa_time,
+    })
+}
+
+fn decode_test(r: &mut Reader<'_>) -> Result<LegalityTest, SerialError> {
+    let tag = r.u8()?;
+    TESTS
+        .get(tag as usize)
+        .copied()
+        .ok_or(SerialError::BadTag("legality test", tag))
+}
+
+fn decode_observations(r: &mut Reader<'_>) -> Result<TypeObservations, SerialError> {
+    let nviol = r.u8()? as usize;
+    let mut violations = BTreeMap::new();
+    for _ in 0..nviol {
+        let t = decode_test(r)?;
+        let c = r.u32()?;
+        violations.insert(t, c);
+    }
+    let has_global_var = r.bool()?;
+    let has_global_ptr = r.bool()?;
+    let has_local_ptr = r.bool()?;
+    let has_static_array = r.bool()?;
+    let dyn_alloc = r.bool()?;
+    let freed = r.bool()?;
+    let realloced = r.bool()?;
+    let nsites = r.count(14)?;
+    let mut alloc_sites = Vec::with_capacity(nsites);
+    for _ in 0..nsites {
+        let at = InstrRef {
+            func: FuncId(r.u32()?),
+            block: BlockId(r.u32()?),
+            index: r.u32()?,
+        };
+        let const_count = if r.bool()? { Some(r.i64()?) } else { None };
+        let zeroed = r.bool()?;
+        alloc_sites.push(AllocSite {
+            at,
+            const_count,
+            zeroed,
+        });
+    }
+    let nescapes = r.count(4)?;
+    let mut escapes_to = BTreeSet::new();
+    for _ in 0..nescapes {
+        escapes_to.insert(FuncId(r.u32()?));
+    }
+    Ok(TypeObservations {
+        violations,
+        has_global_var,
+        has_global_ptr,
+        has_local_ptr,
+        has_static_array,
+        dyn_alloc,
+        freed,
+        realloced,
+        alloc_sites,
+        escapes_to,
+    })
+}
+
+fn decode_transform(r: &mut Reader<'_>) -> Result<TypeTransform, SerialError> {
+    Ok(match r.u8()? {
+        0 => TypeTransform::None,
+        1 => TypeTransform::RemoveDead { dead: r.vec_u32()? },
+        2 => TypeTransform::Split {
+            hot_order: r.vec_u32()?,
+            cold: r.vec_u32()?,
+            dead: r.vec_u32()?,
+        },
+        3 => TypeTransform::Peel { dead: r.vec_u32()? },
+        4 => TypeTransform::Interleave { dead: r.vec_u32()? },
+        tag => return Err(SerialError::BadTag("transform", tag)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze, PipelineConfig};
+    use slo_analysis::{ipa_fingerprint, WeightScheme};
+    use slo_ir::parser::parse;
+
+    const SRC: &str = r#"
+record pair { hot: i64, c1: i64, c2: i64 }
+record lone { only: i64 }
+func main() -> i64 {
+bb0:
+  r0 = alloc pair, 64
+  r1 = 0
+  jump bb1
+bb1:
+  r2 = cmp.lt r1, 64
+  br r2, bb2, bb3
+bb2:
+  r3 = indexaddr r0, pair, r1
+  r4 = fieldaddr r3, pair.hot
+  store r1, r4 : i64
+  r5 = load r4 : i64
+  r1 = add r1, 1
+  jump bb1
+bb3:
+  r6 = fieldaddr r0, pair.c1
+  store 1, r6 : i64
+  r7 = load r6 : i64
+  ret r7
+}
+"#;
+
+    fn sample() -> Analysis {
+        let prog = parse(SRC).expect("parse");
+        analyze(&prog, &WeightScheme::Ispbo, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_observable() {
+        let a = sample();
+        let bytes = encode_analysis(&a);
+        let b = decode_analysis(&bytes).expect("decode");
+        // The encoder is deterministic, so byte-equality of a re-encode
+        // is full structural equality (Analysis has no PartialEq).
+        assert_eq!(bytes, encode_analysis(&b));
+        assert_eq!(ipa_fingerprint(&a.ipa), ipa_fingerprint(&b.ipa));
+        assert_eq!(a.ipa.verdicts.len(), b.ipa.verdicts.len());
+        assert_eq!(a.graphs.len(), b.graphs.len());
+        for (rid, g) in &a.graphs {
+            let h = &b.graphs[rid];
+            assert_eq!(g.nfields, h.nfields);
+            assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+        }
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.dcache, b.dcache);
+        assert_eq!(a.plan.types, b.plan.types);
+        assert_eq!(a.fe, b.fe);
+        assert_eq!(a.ipa_time, b.ipa_time);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = sample();
+        assert_eq!(encode_analysis(&a), encode_analysis(&a));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let a = sample();
+        let mut bytes = encode_analysis(&a);
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            decode_analysis(&bytes),
+            Err(SerialError::BadMagic)
+        ));
+        let mut bytes = encode_analysis(&a);
+        bytes[4] = 0x7f; // version low byte
+        assert!(matches!(
+            decode_analysis(&bytes),
+            Err(SerialError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = encode_analysis(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_analysis(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix of {} must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_analysis(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_analysis(&bytes),
+            Err(SerialError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn decoded_analysis_drives_the_backend_identically() {
+        let prog = parse(SRC).expect("parse");
+        let a = analyze(&prog, &WeightScheme::Ispbo, &PipelineConfig::default());
+        let b = decode_analysis(&encode_analysis(&a)).expect("decode");
+        let ra = crate::pipeline::apply(&prog, &a).expect("apply original");
+        let rb = crate::pipeline::apply(&prog, &b).expect("apply decoded");
+        assert_eq!(
+            slo_ir::printer::print_program(&ra.program),
+            slo_ir::printer::print_program(&rb.program),
+            "stored analysis must produce bit-identical transformed IR"
+        );
+    }
+}
